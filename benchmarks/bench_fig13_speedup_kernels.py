@@ -1,0 +1,55 @@
+"""Fig. 13: parallel speedup for the SPLASH-2 kernels.
+
+Sweeps processor counts for Radix, LU (contiguous and non-contiguous), FFT
+and Cholesky at the scaled Table 2 problem sizes, printing each curve.
+Assertions cover the figure's qualitative content: every kernel speeds up,
+and Cholesky is the worst scaler (as in the paper, where it tops out near
+11 of 64 while the others reach 19-27).
+"""
+
+from harness import paper_note, print_series, proc_sweep, speedup_curve
+
+from repro.workloads import FIG13_KERNELS, SUITE
+
+#: approximate 64-processor speedups read off Fig. 13 (for the printout)
+PAPER_FIG13_64P = {
+    "radix": 27, "lu_contig": 25, "lu_noncontig": 22, "fft": 19, "cholesky": 11,
+}
+
+
+def test_fig13_kernel_speedups(benchmark):
+    procs = proc_sweep()
+
+    def run_all():
+        return {name: speedup_curve(name, procs) for name in FIG13_KERNELS}
+
+    curves = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name] + [curves[name][p] for p in procs] for name in FIG13_KERNELS
+    ]
+    print_series(
+        "Fig. 13: kernel parallel speedup (scaled problems)",
+        ["kernel"] + [f"P={p}" for p in procs],
+        rows,
+    )
+    for name in FIG13_KERNELS:
+        paper_note(
+            f"{name}: paper problem '{SUITE[name]['paper']}', "
+            f"~{PAPER_FIG13_64P[name]}x at 64 processors"
+        )
+
+    top = procs[-1]
+    for name in FIG13_KERNELS:
+        assert curves[name][top] > 1.0, f"{name} failed to speed up"
+    # Cholesky's star-shaped elimination tree makes it the worst kernel,
+    # exactly as in the paper's figure
+    others = [curves[n][top] for n in FIG13_KERNELS if n != "cholesky"]
+    assert curves["cholesky"][top] <= min(others) * 1.05
+    # LU-contiguous beats non-contiguous in absolute time (locality), even
+    # where the relative curves cross
+    from harness import run_workload
+
+    _, t_contig = run_workload("lu_contig", top)
+    _, t_noncontig = run_workload("lu_noncontig", top)
+    assert t_contig < t_noncontig

@@ -1,0 +1,49 @@
+"""Fig. 14: parallel speedup for the SPLASH-2 applications.
+
+Water-Spatial, Radiosity, Barnes, Water-Nsquared, Ocean, FMM and Raytrace
+at the scaled Table 2 sizes.  The paper's headline: 'highly parallelizable
+applications such as Barnes and Water show excellent speedups, as high as
+57' (at 64 processors); the assertions require the same character — the
+embarrassingly parallel apps near-linear, everything comfortably above 1.
+"""
+
+from harness import max_procs, paper_note, print_series, proc_sweep, speedup_curve
+
+from repro.workloads import FIG14_APPS, SUITE
+
+#: approximate 64-processor speedups read off Fig. 14
+PAPER_FIG14_64P = {
+    "water_spatial": 57, "radiosity": 50, "barnes": 48, "water_nsq": 45,
+    "ocean": 38, "fmm": 36, "raytrace": 30,
+}
+
+
+def test_fig14_app_speedups(benchmark):
+    procs = proc_sweep()
+
+    def run_all():
+        return {name: speedup_curve(name, procs) for name in FIG14_APPS}
+
+    curves = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[name] + [curves[name][p] for p in procs] for name in FIG14_APPS]
+    print_series(
+        "Fig. 14: application parallel speedup (scaled problems)",
+        ["application"] + [f"P={p}" for p in procs],
+        rows,
+    )
+    for name in FIG14_APPS:
+        paper_note(
+            f"{name}: paper problem '{SUITE[name]['paper']}', "
+            f"~{PAPER_FIG14_64P[name]}x at 64 processors"
+        )
+
+    top = procs[-1]
+    for name in FIG14_APPS:
+        assert curves[name][top] > 1.5, f"{name} barely scaled: {curves[name]}"
+        # monotone-ish: the top-P point is the best or near-best
+        best = max(curves[name].values())
+        assert curves[name][top] >= 0.7 * best
+    # the paper's 'excellent speedup' group stays near-linear
+    for name in ("water_spatial", "raytrace", "fmm"):
+        assert curves[name][top] > 0.55 * top, (name, curves[name])

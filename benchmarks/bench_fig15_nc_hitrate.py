@@ -1,0 +1,52 @@
+"""Fig. 15: network cache total hit rate, split into the migration and
+caching effects, for the six workloads the paper plots (Barnes, Radix, FFT,
+LU, Ocean, Water) at the full processor count.
+"""
+
+from harness import bench_config, max_procs, paper_note, print_series, run_workload
+
+from repro.workloads import FIG15_APPS
+
+#: approximate bar heights read off Fig. 15 (total %, at 64 processors)
+PAPER_FIG15 = {
+    "barnes": 37, "radix": 9, "fft": 10, "lu_contig": 22, "ocean": 13,
+    "water_nsq": 27,
+}
+
+
+def test_fig15_network_cache_hit_rate(benchmark):
+    procs = max_procs()
+
+    def run_all():
+        out = {}
+        for name in FIG15_APPS:
+            machine, _ = run_workload(name, procs, spread=True)
+            out[name] = machine.nc_hit_rate()
+        return out
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, 100 * r["total"], 100 * r["migration"], 100 * r["caching"]]
+        for name, r in rates.items()
+    ]
+    print_series(
+        f"Fig. 15: NC hit rate at P={procs} (percent)",
+        ["workload", "total", "migration", "caching"],
+        rows,
+    )
+    for name in FIG15_APPS:
+        paper_note(f"{name}: ~{PAPER_FIG15[name]}% total at 64 processors")
+
+    for name, r in rates.items():
+        # split is exact by construction
+        assert abs(r["migration"] + r["caching"] - r["total"]) < 1e-9
+        # the NC is useful but not magic: rates in a plausible band
+        assert 0.0 <= r["total"] < 0.95, (name, r)
+    # at least half the workloads show a material hit rate (the paper's
+    # bars range roughly 5-40%)
+    material = [n for n, r in rates.items() if r["total"] > 0.05]
+    assert len(material) >= len(FIG15_APPS) // 2, rates
+    # the migration effect dominates for the sharing-heavy codes, as the
+    # paper's stacked bars show
+    assert rates["barnes"]["migration"] > 0

@@ -1,0 +1,53 @@
+"""Fig. 17: average utilization of the communication paths — station bus,
+local rings, central ring — per workload.
+
+The paper's reading: 'none of these components is likely to become a
+performance bottleneck' (all averages below ~65%, with the bus highest and
+the central ring lowest for most codes).
+"""
+
+from harness import max_procs, paper_note, print_series, run_workload
+
+from repro.workloads import FIG15_APPS
+
+#: approximate bars from Fig. 17 (percent, 64 processors): bus / local / central
+PAPER_FIG17 = {
+    "barnes": (35, 10, 8), "radix": (65, 25, 20), "fft": (45, 18, 15),
+    "lu_contig": (30, 10, 8), "ocean": (25, 8, 5), "water_nsq": (30, 12, 9),
+}
+
+
+def test_fig17_utilizations(benchmark):
+    procs = max_procs()
+
+    def run_all():
+        out = {}
+        for name in FIG15_APPS:
+            machine, _ = run_workload(name, procs, spread=True)
+            out[name] = machine.utilizations()
+        return out
+
+    utils = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, 100 * u["bus"], 100 * u["local_ring"], 100 * u["central_ring"]]
+        for name, u in utils.items()
+    ]
+    print_series(
+        f"Fig. 17: average utilization at P={procs} (percent)",
+        ["workload", "bus", "local ring", "central ring"],
+        rows,
+    )
+    for name in FIG15_APPS:
+        b, l, c = PAPER_FIG17[name]
+        paper_note(f"{name}: ~{b}/{l}/{c}% at 64 processors")
+
+    for name, u in utils.items():
+        # the paper's conclusion: no component saturates
+        assert u["bus"] < 0.85, (name, u)
+        assert u["local_ring"] < 0.85, (name, u)
+        assert u["central_ring"] < 0.85, (name, u)
+        # the bus sees all local traffic too, so it runs hottest
+        assert u["bus"] >= u["local_ring"] * 0.5, (name, u)
+    # real traffic flowed everywhere
+    assert any(u["central_ring"] > 0.005 for u in utils.values())

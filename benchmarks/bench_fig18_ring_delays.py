@@ -1,0 +1,56 @@
+"""Fig. 18: average ring-interface delays.
+
+(a) the local ring interfaces: the upward ('send') path and the downward
+paths, sinkable vs nonsinkable — the paper highlights that downward
+nonsinkable delays are the largest (they queue behind prioritized sinkable
+traffic); (b) the inter-ring interface delay between local and central
+rings, which stays small.
+
+All values in ring-clock cycles, as the paper plots them.
+"""
+
+from harness import max_procs, paper_note, print_series, run_workload
+
+from repro.workloads import FIG15_APPS
+
+#: approximate Fig. 18a/b values at 64 processors (cycles):
+#: (send, down sinkable, down nonsinkable, central/IRI up)
+PAPER_FIG18 = {
+    "barnes": (2, 8, 20, 3), "radix": (5, 15, 35, 8), "fft": (3, 10, 25, 5),
+    "lu_contig": (2, 8, 18, 3), "ocean": (2, 7, 15, 2), "water_nsq": (2, 8, 18, 3),
+}
+
+
+def test_fig18_ring_interface_delays(benchmark):
+    procs = max_procs()
+
+    def run_all():
+        out = {}
+        for name in FIG15_APPS:
+            machine, _ = run_workload(name, procs, spread=True)
+            out[name] = machine.ring_interface_delays()
+        return out
+
+    delays = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, d["send"], d["down_sinkable"], d["down_nonsinkable"],
+         d.get("iri_up", 0.0), d.get("iri_down", 0.0)]
+        for name, d in delays.items()
+    ]
+    print_series(
+        f"Fig. 18: ring interface delays at P={procs} (ring cycles)",
+        ["workload", "send", "down sink", "down nonsink", "iri up", "iri down"],
+        rows,
+    )
+    for name in FIG15_APPS:
+        s, ds, dn, iri = PAPER_FIG18[name]
+        paper_note(f"{name}: ~{s}/{ds}/{dn} cyc local, ~{iri} cyc central")
+
+    for name, d in delays.items():
+        # the paper's observations: the send path is short ...
+        assert d["send"] < 20, (name, d)
+        # ... and the downward nonsinkable path is the longest of the three
+        assert d["down_nonsinkable"] >= d["down_sinkable"] * 0.6, (name, d)
+        # inter-ring interfaces add only a few cycles
+        assert d.get("iri_up", 0.0) < 30, (name, d)

@@ -1,0 +1,41 @@
+"""Table 1: contention-free request latencies.
+
+Reproduces all nine cells (local / remote-same-ring / remote-different-ring
+x read / upgrade / intervention) on an idle prototype machine and prints
+them side by side with the paper's nanosecond and CPU-cycle values.
+"""
+
+import pytest
+
+from repro.analysis.latency import (
+    PAPER_TABLE1,
+    SCENARIOS,
+    measure_table1,
+    render_table1,
+)
+from repro.system.config import MachineConfig
+
+
+def test_table1_contention_free_latencies(benchmark):
+    measured = benchmark.pedantic(measure_table1, rounds=1, iterations=1)
+
+    print()
+    print("== Table 1: contention-free request latencies ==")
+    print(render_table1(measured, MachineConfig.prototype()))
+    cpu_ns = MachineConfig.prototype().cpu_clock_ns
+    print(f"(CPU cycles at 150 MHz: divide ns by {cpu_ns:.2f})")
+
+    # every cell within 15% of the paper
+    for key in SCENARIOS:
+        paper_ns, _ = PAPER_TABLE1[key]
+        assert measured[key] == pytest.approx(paper_ns, rel=0.15), key
+
+    # orderings: local < same ring < different ring; upgrade cheapest
+    for kind in ("read", "upgrade", "intervention"):
+        assert (
+            measured[("local", kind)]
+            < measured[("remote_same_ring", kind)]
+            < measured[("remote_diff_ring", kind)]
+        )
+    for loc in ("local", "remote_same_ring", "remote_diff_ring"):
+        assert measured[(loc, "upgrade")] < measured[(loc, "read")]

@@ -1,0 +1,64 @@
+"""Table 3 and the §4.6 protocol-corner measurements.
+
+Table 3: the percentage of local NC requests that become *false remote*
+requests (NC ejected its directory info while an L2 still held the line
+dirty; the home bounces the request straight back).  Paper: under 1% for
+every application, <<0.01% for most.
+
+§4.6 also reports that the optimistic upgrade assumption failed only ~4
+times over hundreds of millions of requests — we assert the same rarity for
+special reads, proportionally.
+"""
+
+from harness import max_procs, paper_note, print_series, run_workload
+
+from repro.workloads import FIG14_APPS, FIG13_KERNELS
+
+PAPER_TABLE3 = {
+    "cholesky": 0.5, "fmm": 1.0, "ocean": 0.3, "radiosity": 0.2,
+    "radix": 0.5,   # '< x %' bounds from the table; all others << 0.01
+}
+
+WORKLOADS = ["cholesky", "fmm", "ocean", "radiosity", "radix",
+             "barnes", "fft", "lu_contig", "water_nsq"]
+
+
+def test_table3_false_remote_rates(benchmark):
+    procs = max_procs()
+
+    def run_all():
+        out = {}
+        for name in WORKLOADS:
+            machine, _ = run_workload(name, procs, spread=True)
+            stats = machine.nc_stats()
+            out[name] = {
+                "false_remote_pct": 100 * machine.false_remote_rate(),
+                "special_reads": machine.special_read_count(),
+                "requests": stats.get("requests", 0),
+            }
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, r["false_remote_pct"], r["special_reads"], r["requests"]]
+        for name, r in results.items()
+    ]
+    print_series(
+        f"Table 3: false remote requests at P={procs}",
+        ["workload", "false rem %", "special rds", "NC requests"],
+        rows,
+    )
+    for name, bound in PAPER_TABLE3.items():
+        paper_note(f"{name}: paper bound < {bound}%")
+    paper_note("all others << 0.01%; ~4 special reads in hundreds of millions")
+
+    for name, r in results.items():
+        # the paper's conclusion: false remotes are rare enough not to
+        # matter; we allow a little slack for the scaled-down caches
+        assert r["false_remote_pct"] < 3.0, (name, r)
+        # optimistic upgrades essentially never need the special read
+        assert r["special_reads"] <= max(2, r["requests"] // 1000), (name, r)
+    total_requests = sum(r["requests"] for r in results.values())
+    total_special = sum(r["special_reads"] for r in results.values())
+    assert total_special <= max(5, total_requests // 1000)

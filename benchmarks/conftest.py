@@ -1,0 +1,7 @@
+"""Pytest wiring for the benches: make harness importable, and default to
+one deterministic round per benchmark (simulation runs are exact)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,135 @@
+"""Shared harness for the paper-reproduction benches.
+
+Every bench regenerates one table or figure from the paper's evaluation
+(§4): it runs the scaled workloads on the prototype machine configuration,
+prints the same rows/series the paper reports side by side with the
+published values, and asserts the qualitative *shape* (who wins, rough
+factors, orderings) rather than absolute numbers — our substrate is a
+simulator with scaled problem sizes, not the authors' testbed.
+
+Environment knobs:
+
+* ``NUMACHINE_MAX_PROCS``  — top of the processor sweep (default 16;
+  set 64 for the full prototype curves, at ~10x the wall time).
+* ``NUMACHINE_SCALE``      — multiplies workload problem sizes.
+* ``NUMACHINE_COMPUTE_SCALE`` — Compute-cycle multiplier restoring the
+  paper's compute/communication balance at scaled-down problem sizes
+  (default 32; documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro import Machine, MachineConfig
+from repro.workloads import SUITE, make
+
+
+def compute_scale() -> float:
+    try:
+        return float(os.environ.get("NUMACHINE_COMPUTE_SCALE", "32"))
+    except ValueError:
+        return 32.0
+
+
+def max_procs() -> int:
+    try:
+        return int(os.environ.get("NUMACHINE_MAX_PROCS", "16"))
+    except ValueError:
+        return 16
+
+
+def proc_sweep() -> List[int]:
+    top = max_procs()
+    out = []
+    p = 1
+    while p <= top:
+        out.append(p)
+        p *= 2
+    return out
+
+
+def bench_config(**overrides) -> MachineConfig:
+    cfg = MachineConfig.prototype()
+    cfg.compute_scale = compute_scale()
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+def spread_cpus(config: MachineConfig, nprocs: int) -> List[int]:
+    """``nprocs`` CPUs spread over the whole hierarchy: stations are taken
+    evenly across all rings, filling each chosen station with pairs first —
+    so both the intra-station sharing and the central-ring traffic of the
+    paper's 64-processor runs appear at smaller processor counts."""
+    per = config.cpus_per_station
+    nstations = config.num_stations
+    if nprocs >= nstations * 2:
+        per_station = max(2, -(-nprocs // nstations))
+        stations = list(range(nstations))
+    else:
+        per_station = 2 if nprocs >= 2 else 1
+        count = max(1, nprocs // per_station)
+        step = max(1, nstations // count)
+        stations = list(range(0, nstations, step))[:count]
+    cpus: List[int] = []
+    for s in stations:
+        for i in range(min(per_station, per)):
+            if len(cpus) < nprocs:
+                cpus.append(s * per + i)
+    # top up from remaining slots if rounding left us short
+    s = 0
+    while len(cpus) < nprocs:
+        for c in range(s * per, (s + 1) * per):
+            if c not in cpus and len(cpus) < nprocs:
+                cpus.append(c)
+        s = (s + 1) % nstations
+    return sorted(cpus)
+
+
+def run_workload(
+    name: str,
+    nprocs: int,
+    config: Optional[MachineConfig] = None,
+    spread: bool = False,
+) -> Tuple[Machine, float]:
+    """Run one suite workload; returns (machine, parallel_time_ns)."""
+    cfg = config or bench_config()
+    machine = Machine(cfg)
+    workload = make(name, "bench")
+    if spread:
+        result = workload.run(machine, cpus=spread_cpus(cfg, nprocs))
+    else:
+        result = workload.run(machine, nprocs=nprocs)
+    return machine, result.parallel_time_ns
+
+
+def speedup_curve(
+    name: str, procs: Iterable[int], config_factory=bench_config
+) -> Dict[int, float]:
+    """Parallel speedup vs the workload's own single-processor run."""
+    base = None
+    out: Dict[int, float] = {}
+    for p in procs:
+        _m, t = run_workload(name, p, config_factory())
+        if base is None:
+            base = t
+        out[p] = base / t
+    return out
+
+
+def print_series(title: str, header: List[str], rows: List[List]) -> None:
+    print()
+    print(f"== {title} ==")
+    widths = [max(len(str(h)), 10) for h in header]
+    print("  ".join(f"{h:>{w}}" for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(
+            f"{(f'{v:.2f}' if isinstance(v, float) else str(v)):>{w}}"
+            for v, w in zip(row, widths)
+        ))
+
+
+def paper_note(text: str) -> None:
+    print(f"   [paper] {text}")

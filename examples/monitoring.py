@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Performance monitoring hardware (paper §3.3).
+
+Attaches the non-intrusive monitor, runs a workload with deliberate false
+sharing, and shows how the cache-coherence histogram table (§3.3.3) and
+the per-originator table expose the problem: a cache line ping-ponging
+between writers shows up as a high invalidation count and as LI/GI states
+under write requests, and the phase-identifier register attributes the
+traffic to the offending code region.
+
+Run:  python examples/monitoring.py
+"""
+
+from repro import Barrier, Compute, Machine, MachineConfig, Phase, Read, Write
+from repro.monitor import Monitor
+
+
+def main() -> None:
+    config = MachineConfig.small(stations_per_ring=2, rings=2, cpus=2)
+    machine = Machine(config)
+    monitor = Monitor()
+    machine.attach_monitor(monitor)
+
+    cpus = tuple(range(config.num_cpus))
+    # counters[i] for thread i -- but packed into ONE cache line: false sharing
+    packed = machine.allocate(len(cpus) * 8, placement="local:0", name="packed")
+    # padded version: one counter per line
+    padded = machine.allocate(len(cpus) * config.line_bytes, placement="local:0",
+                              name="padded")
+
+    rounds = 30
+
+    def worker(tid: int):
+        yield Phase(1)  # phase 1: false-sharing counters
+        for r in range(rounds):
+            v = yield Read(packed.addr(tid * 8))
+            yield Write(packed.addr(tid * 8), v + 1)
+            yield Compute(20)
+        yield Barrier(0, cpus)
+        yield Phase(2)  # phase 2: padded counters
+        for r in range(rounds):
+            v = yield Read(padded.addr(tid * config.line_bytes))
+            yield Write(padded.addr(tid * config.line_bytes), v + 1)
+            yield Compute(20)
+        yield Barrier(1, cpus)
+
+    result = machine.run({cpu: worker(tid) for tid, cpu in enumerate(cpus)})
+    print(f"ran in {result.time_ns / 1000:.1f} us\n")
+
+    print("memory coherence histogram (state x transaction type):")
+    print(monitor.coherence_histogram.render())
+    print()
+    print("traffic by phase identifier (phase 1 = packed/false-sharing,"
+          " phase 2 = padded):")
+    print(monitor.phase_table.render())
+    print()
+    p1 = monitor.phase_table.total(col=1)
+    p2 = monitor.phase_table.total(col=2)
+    print(f"memory transactions: phase 1 (false sharing) = {p1}, "
+          f"phase 2 (padded) = {p2}")
+    print(f"-> the packed layout generated {p1 / max(1, p2):.1f}x the coherence "
+          "traffic for identical work")
+    print()
+    print("last 5 trace-memory entries:", monitor.trace.recent(5))
+
+
+if __name__ == "__main__":
+    main()

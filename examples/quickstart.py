@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: build a NUMAchine, run a small parallel program, read stats.
+
+Builds the 64-processor prototype geometry (4 stations x 4 rings, 4 CPUs
+per station), runs a producer/consumer reduction across all 16 stations,
+and prints the measurements the machine's monitoring hardware exposes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AtomicRMW, Barrier, Compute, Machine, MachineConfig, Read, Write
+
+
+def main() -> None:
+    config = MachineConfig.prototype()
+    machine = Machine(config)
+    # two CPUs on each of the 16 stations -> station pairs share their
+    # network cache, so the migration effect is visible in the stats
+    cpus = tuple(
+        s * config.cpus_per_station + i
+        for s in range(config.num_stations)
+        for i in range(2)
+    )
+
+    # A shared array, pages placed round-robin across all stations, plus a
+    # shared result accumulator on station 0.
+    n = 512
+    data = machine.allocate(n * 8, placement="round_robin", name="data")
+    total = machine.allocate(8, placement="local:0", name="total")
+
+    def worker(tid: int):
+        # phase 1: each worker fills a slice
+        lo = tid * n // len(cpus)
+        hi = (tid + 1) * n // len(cpus)
+        for i in range(lo, hi):
+            yield Write(data.addr(i * 8), i)
+        yield Barrier(0, cpus)
+        # phase 2: each worker sums a *different* slice (all-remote reads);
+        # station pairs pull the same slice, so the second reader hits the
+        # line its neighbour's miss already brought into the network cache
+        shift = ((tid // 2) * 2 + 2) % len(cpus)
+        lo = shift * n // len(cpus)
+        hi = (shift + 2) * n // len(cpus)
+        acc = 0
+        for i in range(lo, hi):
+            v = yield Read(data.addr(i * 8))
+            acc += v
+            yield Compute(2)
+        # phase 3: atomic reduction into the shared total
+        yield AtomicRMW(total.addr(0), lambda old, a=acc: old + a)
+        yield Barrier(1, cpus)
+        if tid == 0:
+            result = yield Read(total.addr(0))
+            # every element is read by exactly two workers
+            expected = n * (n - 1)
+            assert result == expected, f"bad sum: {result} != {expected}"
+
+    programs = {cpu: worker(tid) for tid, cpu in enumerate(cpus)}
+    result = machine.run(programs)
+
+    print(f"machine : {config.num_cpus} CPUs, {config.num_stations} stations, "
+          f"{config.geometry.levels} geometry")
+    print(f"ran     : {result.events} events, "
+          f"parallel time {machine.parallel_time_ns(result) / 1000:.1f} us")
+    hit = machine.nc_hit_rate()
+    print(f"network cache hit rate: {hit['total']:.1%} "
+          f"(migration {hit['migration']:.1%}, caching {hit['caching']:.1%})")
+    print(f"combining rate        : {machine.nc_combining_rate():.1%}")
+    util = machine.utilizations()
+    print("utilization           : "
+          + ", ".join(f"{k} {v:.1%}" for k, v in util.items()))
+    delays = machine.ring_interface_delays()
+    print("ring interface delays : "
+          + ", ".join(f"{k} {v:.1f} cyc" for k, v in delays.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Parallel speedup of a SPLASH-2-style kernel on NUMAchine (cf. Fig. 13).
+
+Runs one suite workload at several processor counts and prints the speedup
+curve, the way the paper's evaluation measures the parallel section.
+
+Run:  python examples/splash_speedup.py [workload] [max_procs]
+      (default: fft, up to 16 processors)
+"""
+
+import sys
+
+from repro import Machine, MachineConfig
+from repro.workloads import SUITE, make
+
+
+def run_curve(name: str, max_procs: int) -> None:
+    entry = SUITE[name]
+    print(f"workload: {name}  (paper size: {entry['paper']}, scaled down here)")
+    print(f"{'P':>4} {'time (us)':>12} {'speedup':>9} {'nc hit':>8} {'bus':>7}")
+    base_time = None
+    p = 1
+    while p <= max_procs:
+        machine = Machine(MachineConfig.prototype())
+        workload = make(name, "bench")
+        result = workload.run(machine, nprocs=p)
+        t = result.parallel_time_ns
+        if base_time is None:
+            base_time = t
+        hit = machine.nc_hit_rate()["total"]
+        bus = machine.utilizations()["bus"]
+        print(f"{p:>4} {t / 1000:>12.1f} {base_time / t:>9.2f} "
+              f"{hit:>8.1%} {bus:>7.1%}")
+        p *= 2
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    max_procs = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    run_curve(name, max_procs)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of *The NUMAchine Multiprocessor*.
+
+A cycle-level behavioural simulator of the NUMAchine architecture:
+hierarchical slotted rings with inexact routing masks, the two-level
+LV/LI/GV/GI write-back/invalidate coherence protocol, per-station network
+caches, sinkable/nonsinkable deadlock avoidance, monitoring hardware, and
+the software-visible control surface of section 3.2 — plus SPLASH-2-like
+workloads and the benches that regenerate every table and figure of the
+paper's evaluation.
+"""
+
+from .cpu import AtomicRMW, Barrier, Compute, Phase, Read, SoftOp, Write
+from .interconnect import Geometry, MsgType, Packet
+from .sim import DeadlockError, Engine, SimulationError
+from .system import Machine, MachineConfig, RunResult
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AtomicRMW",
+    "Barrier",
+    "Compute",
+    "Phase",
+    "Read",
+    "SoftOp",
+    "Write",
+    "Geometry",
+    "MsgType",
+    "Packet",
+    "DeadlockError",
+    "Engine",
+    "SimulationError",
+    "Machine",
+    "MachineConfig",
+    "RunResult",
+]

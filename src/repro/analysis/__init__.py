@@ -1,0 +1,23 @@
+"""Analysis: the Table 1 latency harness and run reporting."""
+
+from .latency import (
+    PAPER_TABLE1,
+    SCENARIOS,
+    analytic_estimate,
+    measure_scenario,
+    measure_table1,
+    render_table1,
+)
+from .report import cpu_latency_summary, format_report, machine_report
+
+__all__ = [
+    "PAPER_TABLE1",
+    "SCENARIOS",
+    "analytic_estimate",
+    "measure_scenario",
+    "measure_table1",
+    "render_table1",
+    "cpu_latency_summary",
+    "format_report",
+    "machine_report",
+]

@@ -1,0 +1,190 @@
+"""Contention-free request latencies (paper Table 1).
+
+Sets up each of the nine scenarios of Table 1 on an otherwise idle
+prototype machine and measures a single request's latency end-to-end
+(processor issue to restart), exactly how the paper's numbers are defined:
+64-byte cache line fills for reads and interventions, permission-only
+upgrades.
+
+``PAPER_TABLE1`` records the published values; :func:`measure_table1`
+returns the simulated ones for comparison.  ``analytic_estimate`` gives the
+back-of-envelope sum of pipeline components, useful when re-calibrating
+timing parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cpu.ops import Read, Write
+from ..system.config import MachineConfig
+from ..system.machine import Machine
+
+#: Table 1 of the paper, in nanoseconds and 150 MHz CPU cycles.
+PAPER_TABLE1 = {
+    ("local", "read"): (668, 100),
+    ("local", "upgrade"): (284, 43),
+    ("local", "intervention"): (717, 108),
+    ("remote_same_ring", "read"): (1652, 248),
+    ("remote_same_ring", "upgrade"): (1167, 175),
+    ("remote_same_ring", "intervention"): (1656, 249),
+    ("remote_diff_ring", "read"): (1908, 286),
+    ("remote_diff_ring", "upgrade"): (1508, 226),
+    ("remote_diff_ring", "intervention"): (1932, 290),
+}
+
+SCENARIOS = list(PAPER_TABLE1.keys())
+
+
+def _drain(machine: Machine, programs) -> None:
+    machine.run(programs)
+
+
+def _last_latency(machine: Machine, cpu: int, kind: str) -> float:
+    acc = machine.cpus[cpu].stats.accumulator(f"{kind}_latency")
+    from ..sim.engine import ticks_to_ns
+
+    if acc.count == 0:
+        raise RuntimeError(f"no {kind} latency recorded on cpu {cpu}")
+    return ticks_to_ns(acc.max)
+
+
+def _reset_latency(machine: Machine, cpu: int, kind: str) -> None:
+    machine.cpus[cpu].stats.accumulator(f"{kind}_latency").reset()
+
+
+def measure_scenario(
+    locality: str, kind: str, config: Optional[MachineConfig] = None
+) -> float:
+    """Measure one Table 1 cell in nanoseconds on an idle machine."""
+    config = config or MachineConfig.prototype()
+    machine = Machine(config)
+    cfg = machine.config
+    if locality == "local":
+        home = 0
+    elif locality == "remote_same_ring":
+        home = 1                       # station 1 shares ring 0 with station 0
+    else:
+        home = cfg.geometry.station_id((0,) * (cfg.geometry.num_levels - 1) + (1,))
+    region = machine.allocate(cfg.line_bytes, placement=f"local:{home}")
+    addr = region.addr(0)
+    requester = 0                       # cpu 0 lives on station 0
+
+    def single(op):
+        def gen():
+            yield op
+        return gen()
+
+    if kind == "read":
+        if locality == "local":
+            pass                        # cold line: LV at home memory
+        _reset_latency(machine, requester, "read")
+        _drain(machine, {requester: single(Read(addr))})
+        return _last_latency(machine, requester, "read")
+
+    if kind == "upgrade":
+        # obtain a shared copy first, then request write permission
+        _drain(machine, {requester: single(Read(addr))})
+        _reset_latency(machine, requester, "write")
+        _drain(machine, {requester: single(Write(addr, 1))})
+        return _last_latency(machine, requester, "write")
+
+    if kind == "intervention":
+        # a processor on the home station holds the line dirty
+        owner = home * cfg.cpus_per_station
+        if owner == requester:
+            owner += 1
+        _drain(machine, {owner: single(Write(addr, 7))})
+        _reset_latency(machine, requester, "read")
+        _drain(machine, {requester: single(Read(addr))})
+        return _last_latency(machine, requester, "read")
+
+    raise ValueError(f"unknown kind {kind}")
+
+
+def measure_table1(config: Optional[MachineConfig] = None) -> Dict:
+    """All nine cells; each on a fresh idle machine."""
+    out = {}
+    for locality, kind in SCENARIOS:
+        out[(locality, kind)] = measure_scenario(locality, kind, config)
+    return out
+
+
+def analytic_estimate(config: MachineConfig, locality: str, kind: str) -> float:
+    """Pipeline-sum estimate of one cell (no contention, no queueing)."""
+    cfg = config
+    bus = cfg.bus_cycle_ns
+    cmd = bus
+    data = (cfg.line_bytes // cfg.bus_width_bytes) * bus
+    arb = cfg.bus_arb_ns
+    # processor-side fixed costs
+    cpu_side = cfg.l2_miss_detect_ns + cfg.cpu_fill_ns
+    # one local memory access leg
+    mem_read = cfg.dir_sram_ns + cfg.dram_read_ns
+
+    if locality == "local":
+        if kind == "read":
+            return cpu_side + (arb + cmd) + mem_read + (arb + cmd + data)
+        if kind == "upgrade":
+            return cpu_side + (arb + cmd) + cfg.dir_sram_ns + (arb + cmd)
+        # intervention: memory -> owner cpu -> bus data to requester+memory
+        return (
+            cpu_side
+            + (arb + cmd)              # request to memory
+            + cfg.dir_sram_ns
+            + (arb + cmd)              # intervention to owner
+            + cfg.l2_hit_cpu_cycles * cfg.cpu_clock_ns
+            + (arb + cmd + data)       # owner drives data
+            + (arb + cmd + data)       # memory/NC forwards to requester
+        )
+
+    # remote legs: through the NC, the rings, and the home station bus
+    hops_same = 2 * cfg.ring_hop_ns    # one hop each way (adjacent stations)
+    if locality == "remote_same_ring":
+        ring = 2 * (cfg.pkt_gen_ns + cfg.handler_ns) + hops_same
+    else:
+        # ascend + central + descend, both directions
+        ring = 2 * (cfg.pkt_gen_ns + cfg.handler_ns) + hops_same + 4 * (
+            cfg.iri_switch_ns + cfg.ring_hop_ns
+        )
+    data_flits = (cfg.line_flits - 1) * cfg.ring_slot_ns
+    nc = cfg.nc_tag_ns + cfg.nc_dram_write_ns + cfg.nc_dram_read_ns
+    if kind == "read":
+        return (
+            cpu_side + (arb + cmd) + nc + ring + data_flits
+            + (arb + cmd) + mem_read + (arb + cmd + data)  # home bus legs
+            + (arb + cmd + data)                            # NC -> cpu
+        )
+    if kind == "upgrade":
+        # dataless both ways; the ordered invalidation passes the
+        # sequencing point (ordering delay) before the NC releases the ack
+        return (
+            cpu_side + (arb + cmd) + cfg.nc_tag_ns + ring
+            + (arb + cmd) + cfg.dir_sram_ns + (arb + cmd)
+            + cfg.seq_point_ns
+            + 2 * cfg.ring_hop_ns
+            + (arb + cmd)
+        )
+    # remote intervention: home forwards to its own bus owner
+    return (
+        cpu_side + (arb + cmd) + nc + ring + data_flits
+        + (arb + cmd) + cfg.dir_sram_ns
+        + (arb + cmd) + cfg.l2_hit_cpu_cycles * cfg.cpu_clock_ns
+        + (arb + cmd + data)
+        + (arb + cmd + data)
+    )
+
+
+def render_table1(measured: Dict, config: MachineConfig) -> str:
+    """Side-by-side paper vs measured table."""
+    lines = [
+        f"{'scenario':<28}{'paper ns':>10}{'sim ns':>10}{'ratio':>8}"
+    ]
+    for key in SCENARIOS:
+        paper_ns, _cycles = PAPER_TABLE1[key]
+        sim = measured[key]
+        lines.append(
+            f"{key[0] + '/' + key[1]:<28}{paper_ns:>10}{sim:>10.0f}"
+            f"{sim / paper_ns:>8.2f}"
+        )
+    return "\n".join(lines)

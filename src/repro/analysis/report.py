@@ -1,0 +1,73 @@
+"""Run reports: one text summary of everything the machine measured.
+
+``machine_report`` collects the statistics the paper's evaluation section
+is built from (parallel time, NC effects, path utilizations, ring-interface
+delays, protocol corner-case counts) into one dict / formatted block —
+used by the examples and handy in interactive exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..system.machine import Machine, RunResult
+
+
+def machine_report(machine: Machine, result: Optional[RunResult] = None) -> Dict:
+    """All headline measurements of a completed run, as one flat dict."""
+    nc = machine.nc_stats()
+    mem = machine.memory_stats()
+    hit = machine.nc_hit_rate()
+    out = {
+        "parallel_time_us": (
+            machine.parallel_time_ns(result) / 1e3 if result is not None else None
+        ),
+        "nc_hit_rate": hit["total"],
+        "nc_migration_rate": hit["migration"],
+        "nc_caching_rate": hit["caching"],
+        "nc_combining_rate": machine.nc_combining_rate(),
+        "false_remote_rate": machine.false_remote_rate(),
+        "special_reads": machine.special_read_count(),
+        "nc_requests": nc.get("requests", 0),
+        "nc_ejections": nc.get("ejections", 0),
+        "memory_nacks": mem.get("nacks", 0),
+        "invalidations_sent": mem.get("invalidates_sent", 0),
+    }
+    out.update({f"util_{k}": v for k, v in machine.utilizations().items()})
+    out.update(
+        {f"delay_{k}_cycles": v for k, v in machine.ring_interface_delays().items()}
+    )
+    return out
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable block, aligned keys, percentages rendered as such."""
+    lines = []
+    for key, value in report.items():
+        if value is None:
+            continue
+        if key.startswith(("nc_", "false_", "util_")) and isinstance(value, float):
+            rendered = f"{value:.1%}"
+        elif isinstance(value, float):
+            rendered = f"{value:,.2f}"
+        else:
+            rendered = f"{value:,}"
+        lines.append(f"{key:<28} {rendered:>12}")
+    return "\n".join(lines)
+
+
+def cpu_latency_summary(machine: Machine) -> Dict[str, float]:
+    """Mean request latencies (ns) over all processors, by request kind."""
+    from ..sim.engine import ticks_to_ns
+
+    sums: Dict[str, list] = {}
+    for cpu in machine.cpus:
+        for kind in ("read", "write", "rmw"):
+            acc = cpu.stats.accumulators.get(f"{kind}_latency")
+            if acc is not None and acc.count:
+                entry = sums.setdefault(kind, [0, 0])
+                entry[0] += acc.total
+                entry[1] += acc.count
+    return {
+        kind: ticks_to_ns(total) / count for kind, (total, count) in sums.items()
+    }

@@ -1,0 +1,7 @@
+"""Caches: L1/L2 arrays and the network cache with its protocol engine."""
+
+from .base import CacheArray, CacheLine
+from .nc_array import NCArray, NCLine
+from .network_cache import NetworkCache
+
+__all__ = ["CacheArray", "CacheLine", "NCArray", "NCLine", "NetworkCache"]

@@ -1,0 +1,99 @@
+"""Generic cache array used for L1 and L2 (secondary) caches.
+
+The R4400's secondary cache is direct-mapped; the array nevertheless
+supports set-associativity with LRU so experiments can vary it.  Lines
+carry real data words — the simulator moves actual values through the
+coherence protocol, which is how the test suite can assert that sequential
+consistency holds (stale data is a test failure, not a silent inaccuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.states import CacheState
+
+
+@dataclass
+class CacheLine:
+    addr: int
+    state: CacheState
+    data: List = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"CacheLine({self.addr:#x} {self.state.value})"
+
+
+class CacheArray:
+    """A set-associative write-back cache array with LRU replacement."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int,
+        assoc: int = 1,
+    ) -> None:
+        if size_bytes % (line_bytes * assoc):
+            raise ValueError(f"{name}: size not a multiple of line*assoc")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (line_bytes * assoc)
+        # each set is an insertion-ordered dict addr -> CacheLine; last = MRU
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+
+    def set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    # ------------------------------------------------------------------
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
+        s = self._sets[self.set_index(line_addr)]
+        line = s.get(line_addr)
+        if line is not None and touch:
+            s.pop(line_addr)
+            s[line_addr] = line  # move to MRU
+        return line
+
+    def install(
+        self, line_addr: int, state: CacheState, data: Optional[List]
+    ) -> Optional[CacheLine]:
+        """Insert / replace a line; returns the evicted victim, if any.
+
+        A returned victim in DIRTY state must be written back by the caller.
+        """
+        s = self._sets[self.set_index(line_addr)]
+        victim = None
+        existing = s.pop(line_addr, None)
+        if existing is None and len(s) >= self.assoc:
+            lru_addr = next(iter(s))
+            victim = s.pop(lru_addr)
+        line = existing or CacheLine(addr=line_addr, state=state)
+        line.state = state
+        if data is not None:
+            line.data = data
+        s[line_addr] = line
+        return victim
+
+    def remove(self, line_addr: int) -> Optional[CacheLine]:
+        return self._sets[self.set_index(line_addr)].pop(line_addr, None)
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Drop a line (coherence invalidation); returns it if present."""
+        return self.remove(line_addr)
+
+    def downgrade(self, line_addr: int) -> Optional[CacheLine]:
+        """DIRTY -> SHARED (ownership surrendered, data kept)."""
+        line = self.lookup(line_addr, touch=False)
+        if line is not None and line.state is CacheState.DIRTY:
+            line.state = CacheState.SHARED
+        return line
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def lines(self):
+        for s in self._sets:
+            yield from s.values()

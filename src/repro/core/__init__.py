@@ -1,0 +1,11 @@
+"""The paper's core contribution: coherence states and the two-level directory.
+
+The protocol engines themselves live with their hardware:
+:mod:`repro.memory.memory_module` (memory side, Fig. 5) and
+:mod:`repro.cache.network_cache` (network-cache side, Fig. 6).
+"""
+
+from .directory import DirEntry, Directory
+from .states import CacheState, LineState
+
+__all__ = ["DirEntry", "Directory", "CacheState", "LineState"]

@@ -1,0 +1,63 @@
+"""Coherence state definitions (paper §2.3).
+
+Memory modules and network caches keep four basic states per cache line,
+encoded in hardware by a local/global (L/G) bit and a valid/invalid (V/I)
+bit, each with a *locked* version used while the line undergoes a
+transition:
+
+``LV`` (local valid)
+    valid copies exist only on this station; the memory (or NC) *and* the
+    secondary caches named by the processor mask hold valid data.
+``LI`` (local invalid)
+    the only valid copy is dirty in exactly one local secondary cache
+    (named by the processor mask).
+``GV`` (global valid)
+    the memory (or NC) holds a valid copy shared by several stations
+    (named by the routing mask in the home directory).
+``GI`` (global invalid)
+    no valid copy on this station.  In the *home memory* GI additionally
+    means a remote network cache (named by the routing mask) holds the
+    line in LV or LI state.
+
+Secondary (L2) caches use the standard write-back-invalidate three states.
+The network cache has a fifth pseudo-state, ``NOT_IN`` (tag mismatch /
+never cached), shown in Fig. 6 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """Directory state of a line in a memory module or network cache."""
+
+    LV = "LV"
+    LI = "LI"
+    GV = "GV"
+    GI = "GI"
+
+    @property
+    def is_local(self) -> bool:
+        return self in (LineState.LV, LineState.LI)
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether the memory/NC itself holds valid data."""
+        return self in (LineState.LV, LineState.GV)
+
+
+class CacheState(enum.Enum):
+    """Secondary-cache (L2) line state: write-back invalidate MSI."""
+
+    INVALID = "I"
+    SHARED = "S"
+    DIRTY = "D"
+
+    @property
+    def readable(self) -> bool:
+        return self is not CacheState.INVALID
+
+    @property
+    def writable(self) -> bool:
+        return self is CacheState.DIRTY

@@ -1,0 +1,15 @@
+"""Processor modules: the generator-driven R4400 model and its ops."""
+
+from .ops import AtomicRMW, Barrier, Compute, Phase, Read, SoftOp, Write
+from .processor import Processor
+
+__all__ = [
+    "AtomicRMW",
+    "Barrier",
+    "Compute",
+    "Phase",
+    "Read",
+    "SoftOp",
+    "Write",
+    "Processor",
+]

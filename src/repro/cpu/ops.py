@@ -1,0 +1,76 @@
+"""Operations a workload program may yield to its processor.
+
+Workloads are Python generators — the execution-driven front-end replacing
+the paper's Mint/MIPS-binary combination.  A program yields one op at a
+time; for :class:`Read` and :class:`AtomicRMW` the loaded / previous value
+is sent back into the generator, so kernels can be real data-dependent
+algorithms::
+
+    def worker(ctx):
+        v = yield Read(a.addr(i))
+        yield Write(b.addr(i), v + 1)
+        yield Barrier(0, ctx.all_cpus)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class Read:
+    """Load one word; the value is sent back into the generator."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Store one word."""
+
+    addr: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class AtomicRMW:
+    """Atomic read-modify-write (LL/SC-style): the line is acquired
+    exclusively, ``fn(old)`` is stored, and ``old`` is sent back.
+    Used for spinlocks (test-and-set) and fetch-and-add counters."""
+
+    addr: int
+    fn: Callable[[Any], Any]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Local computation costing ``cycles`` CPU cycles (no memory traffic)."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Hardware barrier over ``cpus`` (global ids) using the per-processor
+    barrier registers and a multicast register write (§3.2)."""
+
+    bid: int
+    cpus: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """Set the processor's phase-identifier register (monitoring, §3.3)."""
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class SoftOp:
+    """A system-software operation exposing low-level hardware control
+    (§3.2): coherence bypass, kill/invalidate/writeback/prefetch, block
+    operations, multicast updates, in-cache zero/copy."""
+
+    kind: str
+    args: dict = field(default_factory=dict)

@@ -1,0 +1,511 @@
+"""The processor module (paper §3.1.1).
+
+Models an R4400-class CPU: in-order, blocking on its single outstanding
+memory request, with an on-chip primary cache (L1) and an external 1 MB
+secondary cache (L2).  The external agent's FIFOs and formatting overhead
+are folded into the fixed ``l2_miss_detect`` / ``cpu_fill`` latencies.
+
+Execution is driven by a workload generator (see :mod:`repro.cpu.ops`).
+Cache hits are resolved synchronously in batches of ``config.cpu_batch``
+ops per scheduler event — the fast path that keeps simulation cost
+proportional to misses.  An invalidation arriving mid-batch takes effect at
+the next batch boundary (tens of CPU cycles), far below the protocol's
+latency scale; tests that check sequential-consistency litmus outcomes run
+with ``cpu_batch=1`` where batching cannot reorder anything.
+
+The module also carries the interrupt register, the two (sense-alternating)
+barrier registers, and the phase-identifier register of §3.2/§3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..cache.base import CacheArray, CacheLine
+from ..core.states import CacheState
+from ..interconnect.packet import MsgType, Packet
+from ..sim.engine import Engine, SimulationError, ns_to_ticks
+from ..sim.stats import StatGroup
+from . import ops as O
+
+
+class Processor:
+    """One CPU + L1 + L2 + external agent."""
+
+    def __init__(self, engine: Engine, config, cpu_id: int, station) -> None:
+        self.engine = engine
+        self.config = config
+        self.cpu_id = cpu_id                      # global id
+        self.station = station
+        self.l1 = CacheArray(
+            f"P{cpu_id}.l1", config.l1_size_bytes, config.line_bytes
+        )
+        self.l2 = CacheArray(
+            f"P{cpu_id}.l2", config.l2_size_bytes, config.line_bytes
+        )
+        self.stats = StatGroup(f"P{cpu_id}")
+        self.program = None
+        self.finished_at: Optional[int] = None
+        self.started = False
+        self._resume_value: Any = None
+        self._pending: Optional[dict] = None
+        self._request_start = 0
+        # registers (§3.2)
+        self.interrupt_reg = 0
+        self.barrier_regs = [0, 0]                # sense-alternating pair
+        self._barrier_wait: Optional[tuple] = None
+        self.phase = 0
+        self.on_finish: Optional[Callable[["Processor"], None]] = None
+        self.on_interrupt: Optional[Callable[[int], None]] = None
+        #: per-page software caching attributes accessor (set by Machine)
+        self.page_attrs: Optional[Callable[[int], object]] = None
+        # timing in ticks
+        self._cpu = config.cpu_cycle_ticks
+        self._l1_hit = config.l1_hit_cpu_cycles * self._cpu
+        self._l2_hit = config.l2_hit_cpu_cycles * self._cpu
+        self._miss_detect = ns_to_ticks(config.l2_miss_detect_ns)
+        self._fill = ns_to_ticks(config.cpu_fill_ns)
+        self._retry = config.nack_retry_cpu_cycles * self._cpu
+        engine.blocked_watchers.append(self._blocked_reason)
+
+    # ==================================================================
+    # program control
+    # ==================================================================
+    def set_program(self, program) -> None:
+        self.program = program
+        self.finished_at = None
+        self.started = False
+        self.engine.schedule(0, self._step)
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    # ==================================================================
+    # the execution loop
+    # ==================================================================
+    def _next_op(self):
+        if not self.started:
+            self.started = True
+            return next(self.program)
+        value, self._resume_value = self._resume_value, None
+        send = getattr(self.program, "send", None)
+        if send is None:
+            # plain iterators are fine for programs that ignore read values
+            return next(self.program)
+        return send(value)
+
+    def _finish(self, extra_ticks: int) -> None:
+        self.finished_at = self.engine.now + extra_ticks
+        if self.on_finish is not None:
+            self.engine.schedule(extra_ticks, lambda: self.on_finish(self))
+
+    def _step(self) -> None:
+        if self.program is None or self.done:
+            return
+        cfg = self.config
+        acc = 0
+        for _ in range(cfg.cpu_batch):
+            try:
+                op = self._next_op()
+            except StopIteration:
+                self._finish(acc)
+                return
+            cls = type(op)
+            if cls is O.Read:
+                hit, ticks, value = self._try_read(op.addr)
+                if hit:
+                    acc += ticks
+                    self._resume_value = value
+                    continue
+                self.engine.schedule(acc, self._issue, ("read", op.addr, None))
+                return
+            if cls is O.Write:
+                hit, ticks = self._try_write(op.addr, op.value)
+                if hit:
+                    acc += ticks
+                    continue
+                self.engine.schedule(acc, self._issue, ("write", op.addr, op.value))
+                return
+            if cls is O.Compute:
+                acc += int(op.cycles * cfg.compute_scale) * self._cpu
+                continue
+            if cls is O.AtomicRMW:
+                hit, ticks, old = self._try_rmw(op.addr, op.fn)
+                if hit:
+                    acc += ticks
+                    self._resume_value = old
+                    continue
+                self.engine.schedule(acc, self._issue, ("rmw", op.addr, op.fn))
+                return
+            if cls is O.Barrier:
+                self.engine.schedule(acc, self._do_barrier, op)
+                return
+            if cls is O.Phase:
+                self.phase = op.pid
+                continue
+            if cls is O.SoftOp:
+                self.engine.schedule(acc, self._do_softop, op)
+                return
+            raise SimulationError(f"unknown op {op!r} from program on P{self.cpu_id}")
+        self.engine.schedule(max(acc, 1), self._step)
+
+    # ------------------------------------------------------------------
+    # cache fast paths
+    # ------------------------------------------------------------------
+    def _word_index(self, addr: int) -> int:
+        return (addr % self.config.line_bytes) // self.config.word_bytes
+
+    def _try_read(self, addr: int):
+        la = self.config.line_addr(addr)
+        l1 = self.l1.lookup(la)
+        line = self.l2.lookup(la)
+        if line is not None and line.state.readable:
+            self.stats.counter("reads").incr()
+            if l1 is not None:
+                return True, self._l1_hit, line.data[self._word_index(addr)]
+            self.l1.install(la, line.state, None)
+            return True, self._l2_hit, line.data[self._word_index(addr)]
+        return False, 0, None
+
+    def _try_write(self, addr: int, value):
+        la = self.config.line_addr(addr)
+        line = self.l2.lookup(la)
+        if line is not None and line.state.writable:
+            self.stats.counter("writes").incr()
+            l1 = self.l1.lookup(la)
+            ticks = self._l1_hit if l1 is not None else self._l2_hit
+            if l1 is None:
+                self.l1.install(la, line.state, None)
+            line.data[self._word_index(addr)] = value
+            return True, ticks
+        return False, 0
+
+    def _try_rmw(self, addr: int, fn):
+        la = self.config.line_addr(addr)
+        line = self.l2.lookup(la)
+        if line is not None and line.state.writable:
+            self.stats.counter("rmws").incr()
+            idx = self._word_index(addr)
+            old = line.data[idx]
+            line.data[idx] = fn(old)
+            return True, self._l2_hit, old
+        return False, 0, None
+
+    # ------------------------------------------------------------------
+    # miss path
+    # ------------------------------------------------------------------
+    def _issue(self, spec) -> None:
+        kind, addr, payload = spec
+        la = self.config.line_addr(addr)
+        attrs = self.page_attrs(addr) if self.page_attrs is not None else None
+        if attrs is not None and not attrs.cacheable:
+            self._issue_uncached(kind, addr, payload)
+            return
+        self._pending = {
+            "kind": kind,
+            "addr": addr,
+            "la": la,
+            "payload": payload,
+            "tries": 0,
+            "exclusive_only": bool(attrs is not None and attrs.exclusive_only),
+        }
+        self._request_start = self.engine.now
+        self.stats.counter(f"{kind}_misses").incr()
+        self.engine.schedule(self._miss_detect, self._send_request)
+
+    def _send_request(self) -> None:
+        p = self._pending
+        if p is None:
+            return
+        la = p["la"]
+        line = self.l2.lookup(la, touch=False)
+        kind = p["kind"]
+        # the line may have arrived or changed while we waited; re-evaluate
+        if kind == "read" and line is not None and line.state.readable:
+            self._complete_locally()
+            return
+        if kind in ("write", "rmw") and line is not None and line.state.writable:
+            self._complete_locally()
+            return
+        if kind == "read":
+            # exclusive-only pages (§3.2 software-managed caching) never
+            # take shared copies: a single cache owns the line at a time
+            mtype = MsgType.READ_EX if p.get("exclusive_only") else MsgType.READ
+        elif line is not None and line.state is CacheState.SHARED:
+            mtype = MsgType.UPGRADE
+        else:
+            mtype = MsgType.READ_EX
+        pkt = Packet(
+            mtype=mtype,
+            addr=la,
+            src_station=self.station.station_id,
+            dest_mask=0,
+            requester=self.cpu_id,
+            meta={"local": True, "retry": p["tries"] > 0, "phase": self.phase},
+        )
+        target = self.station.module_for(la)
+        self.station.bus.request(
+            self.config.cmd_bus_ticks, lambda start, t=target, k=pkt: t.handle(k)
+        )
+
+    def _complete_locally(self) -> None:
+        """The miss resolved while queued (e.g. a fill raced ahead)."""
+        p = self._pending
+        self._pending = None
+        la, addr = p["la"], p["addr"]
+        line = self.l2.lookup(la)
+        idx = self._word_index(addr)
+        if p["kind"] == "read":
+            self._resume_value = line.data[idx]
+        elif p["kind"] == "write":
+            line.data[idx] = p["payload"]
+        else:
+            old = line.data[idx]
+            line.data[idx] = p["payload"](old)
+            self._resume_value = old
+        self.engine.schedule(self._l2_hit, self._step)
+
+    # ------------------------------------------------------------------
+    # responses from memory / network cache
+    # ------------------------------------------------------------------
+    def complete_fill(self, la: int, data: Optional[List], exclusive: bool) -> None:
+        p = self._pending
+        if p is None or p["la"] != la:
+            # a grant we no longer wait for (e.g. duplicate); install data
+            if data is not None:
+                self._install(la, data, exclusive)
+            return
+        self._pending = None
+        if data is None:
+            # upgrade ack: promote the shared copy in place
+            line = self.l2.lookup(la)
+            if line is None or not line.state.readable:
+                raise SimulationError(
+                    f"P{self.cpu_id}: upgrade ack for {la:#x} without a copy"
+                )
+            line.state = CacheState.DIRTY
+            l1 = self.l1.lookup(la, touch=False)
+            if l1 is not None:
+                l1.state = CacheState.DIRTY
+        else:
+            self._install(la, data, exclusive)
+        line = self.l2.lookup(la)
+        addr, idx = p["addr"], self._word_index(p["addr"])
+        if p["kind"] == "read":
+            self._resume_value = line.data[idx]
+        elif p["kind"] == "write":
+            if not exclusive:
+                raise SimulationError("write completed without exclusivity")
+            line.data[idx] = p["payload"]
+        else:  # rmw
+            old = line.data[idx]
+            line.data[idx] = p["payload"](old)
+            self._resume_value = old
+        # permission-only acks restart quickly; line fills pay the full
+        # external-agent + cache-fill pipeline
+        restart = self._fill if data is not None else 2 * self._cpu
+        self.stats.accumulator(f"{p['kind']}_latency").add(
+            self.engine.now + restart - self._request_start
+        )
+        self.engine.schedule(restart, self._step)
+
+    def _install(self, la: int, data: List, exclusive: bool) -> None:
+        state = CacheState.DIRTY if exclusive else CacheState.SHARED
+        victim = self.l2.install(la, state, list(data))
+        self.l1.install(la, state, None)
+        if victim is not None:
+            self.l1.invalidate(victim.addr)
+            if victim.state is CacheState.DIRTY:
+                self._write_back(victim)
+
+    def _write_back(self, victim: CacheLine) -> None:
+        self.stats.counter("writebacks").incr()
+        target = self.station.module_for(victim.addr)
+        wb = Packet(
+            mtype=MsgType.WRITE_BACK,
+            addr=victim.addr,
+            src_station=self.station.station_id,
+            dest_mask=0,
+            requester=self.cpu_id,
+            data=list(victim.data),
+            meta={"local": True},
+        )
+        self.station.bus.request(
+            self.config.cmd_bus_ticks + self.config.line_bus_ticks,
+            lambda start, t=target, k=wb: t.handle(k),
+        )
+
+    # ------------------------------------------------------------------
+    # uncached word accesses (cacheable=False pages, §3.2)
+    # ------------------------------------------------------------------
+    def _issue_uncached(self, kind: str, addr: int, payload) -> None:
+        self.stats.counter("uncached_ops").incr()
+        home = self.config.home_station(addr)
+        local = home == self.station.station_id
+        if kind == "rmw":
+            raise SimulationError("atomic RMW requires a cacheable page")
+        if kind == "write":
+            pkt = Packet(
+                mtype=MsgType.WRITE_UNCACHED, addr=addr,
+                src_station=self.station.station_id, dest_mask=0,
+                requester=self.cpu_id, data=payload, meta={"local": local},
+            )
+            # posted write: the program continues as soon as it is sent
+            self._dispatch_uncached(pkt, local, home)
+            self.engine.schedule(self._cpu, self._step)
+            return
+        self._pending = {"kind": "ucread", "addr": addr, "la": None,
+                         "payload": None, "tries": 0}
+        self._request_start = self.engine.now
+        pkt = Packet(
+            mtype=MsgType.READ_UNCACHED, addr=addr,
+            src_station=self.station.station_id, dest_mask=0,
+            requester=self.cpu_id, meta={"local": local},
+        )
+        self._dispatch_uncached(pkt, local, home)
+
+    def _dispatch_uncached(self, pkt: Packet, local: bool, home: int) -> None:
+        if local:
+            self.station.bus.request(
+                self.config.cmd_bus_ticks,
+                lambda start, p=pkt: self.station.memory.handle(p),
+            )
+        else:
+            pkt.dest_mask = self.station.codec.station_mask(home)
+            self.station.bus.request(
+                self.config.cmd_bus_ticks,
+                lambda start, p=pkt: self.station.ring_interface.send(p),
+            )
+
+    def complete_uncached(self, addr: int, value) -> None:
+        p = self._pending
+        if p is None or p["kind"] != "ucread" or p["addr"] != addr:
+            return
+        self._pending = None
+        self._resume_value = value
+        self.stats.accumulator("uncached_latency").add(
+            self.engine.now - self._request_start
+        )
+        self.engine.schedule(2 * self._cpu, self._step)
+
+    def nack_from_module(self, la: int) -> None:
+        p = self._pending
+        if p is None or p["la"] != la:
+            return
+        p["tries"] += 1
+        self.stats.counter("retries").incr()
+        self.engine.schedule(self._retry, self._send_request)
+
+    # ------------------------------------------------------------------
+    # coherence actions against this CPU's caches
+    # ------------------------------------------------------------------
+    def invalidate_line(self, la: int, only_shared: bool = False) -> None:
+        if only_shared:
+            line = self.l2.lookup(la, touch=False)
+            if line is not None and line.state is CacheState.DIRTY:
+                # a dirty copy means this processor owns the line; the
+                # invalidation is from an older epoch (see the NC's
+                # stale-owner rule) and must not destroy the data
+                self.stats.counter("stale_invalidations_ignored").incr()
+                return
+        self.l1.invalidate(la)
+        self.l2.invalidate(la)
+        self.stats.counter("invalidations_received").incr()
+
+    def handle_intervention(
+        self, la: int, exclusive: bool, respond: Callable[[Optional[List]], None]
+    ) -> None:
+        """Memory/NC asks for this CPU's dirty copy.  Responds over the bus
+        with the data (or None if the copy is gone — a write-back race)."""
+        line = self.l2.lookup(la, touch=False)
+        if line is None or line.state is not CacheState.DIRTY:
+            respond(None)
+            return
+        data = list(line.data)
+        if exclusive:
+            self.invalidate_line(la)
+        else:
+            self.l2.downgrade(la)
+            l1 = self.l1.lookup(la, touch=False)
+            if l1 is not None:
+                l1.state = CacheState.SHARED
+        self.stats.counter("interventions").incr()
+        # the CPU drives the data onto the bus
+        self.station.bus.request(
+            self.config.cmd_bus_ticks + self.config.line_bus_ticks,
+            lambda start, d=data: respond(d),
+        )
+
+    # ------------------------------------------------------------------
+    # barriers / interrupts (§3.2)
+    # ------------------------------------------------------------------
+    def _do_barrier(self, op: O.Barrier) -> None:
+        sense = op.bid & 1
+        full = 0
+        for c in op.cpus:
+            full |= 1 << c
+        stations = sorted({c // self.config.cpus_per_station for c in op.cpus})
+        pkt = Packet(
+            mtype=MsgType.BARRIER_WRITE,
+            addr=0,
+            src_station=self.station.station_id,
+            dest_mask=self.station.codec.combine(stations),
+            requester=self.cpu_id,
+            meta={"cpus": tuple(op.cpus), "bit": 1 << self.cpu_id, "sense": sense},
+        )
+        self._barrier_wait = (sense, full)
+        self.stats.counter("barriers").incr()
+        self.station.bus.request(
+            self.config.cmd_bus_ticks,
+            lambda start, k=pkt: self.station.ring_interface.send(k),
+        )
+        self._check_barrier()
+
+    def barrier_write(self, bit: int, sense: int) -> None:
+        self.barrier_regs[sense] |= bit
+        self._check_barrier()
+
+    def _check_barrier(self) -> None:
+        if self._barrier_wait is None:
+            return
+        sense, full = self._barrier_wait
+        if self.barrier_regs[sense] & full == full:
+            self.barrier_regs[sense] &= ~full
+            self._barrier_wait = None
+            # one cycle to notice the register (local spin, no traffic)
+            self.engine.schedule(self._cpu, self._step)
+
+    def raise_interrupt(self, bits: int) -> None:
+        self.interrupt_reg |= bits
+        if self.on_interrupt is not None:
+            self.on_interrupt(bits)
+
+    def read_interrupt_reg(self) -> int:
+        """Reading clears the register (§3.2)."""
+        v = self.interrupt_reg
+        self.interrupt_reg = 0
+        return v
+
+    # ------------------------------------------------------------------
+    def _do_softop(self, op: O.SoftOp) -> None:
+        from ..softctl import ops as softops
+
+        softops.cpu_softop(self, op)
+
+    def resume(self, value: Any = None, delay: int = 0) -> None:
+        """Used by softctl completions to restart the program."""
+        self._resume_value = value
+        self.engine.schedule(delay, self._step)
+
+    def _blocked_reason(self) -> Optional[str]:
+        if self.done or self.program is None:
+            return None
+        if self._pending is not None:
+            return (
+                f"P{self.cpu_id} blocked on {self._pending['kind']} "
+                f"{self._pending['la']:#x}"
+            )
+        if self._barrier_wait is not None:
+            return f"P{self.cpu_id} blocked at barrier"
+        return None

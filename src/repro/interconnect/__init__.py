@@ -1,0 +1,18 @@
+"""Interconnect: packets, routing masks, slotted rings, interfaces, topology."""
+
+from .packet import NONSINKABLE, MsgType, Packet, is_sinkable
+from .ring import Ring
+from .routing import Geometry, RoutingMaskCodec
+from .topology import Interconnect, build_interconnect
+
+__all__ = [
+    "NONSINKABLE",
+    "MsgType",
+    "Packet",
+    "is_sinkable",
+    "Ring",
+    "Geometry",
+    "RoutingMaskCodec",
+    "Interconnect",
+    "build_interconnect",
+]

@@ -1,0 +1,433 @@
+"""Ring interfaces (paper §3.1.3).
+
+Two kinds of interface exist:
+
+* :class:`StationRingInterface` — connects a station's bus to its local
+  ring.  Upward path: packet generator -> output FIFO -> ring slots.
+  Downward path: input FIFO -> packet handler -> separate *sinkable* /
+  *nonsinkable* queues -> station bus.  It also enforces the deadlock
+  bound on nonsinkable messages a station may have in the network.
+
+* :class:`InterRingInterface` — a simple FIFO switch joining a ring to its
+  parent ring.  It is the sequencing point of its child ring, and one
+  designated inter-ring interface is the sequencing point of the central
+  ring.
+
+Both implement the :class:`~repro.interconnect.ring.RingMember` protocol and
+realize the ascend / to_seq / deliver routing rules described in
+:mod:`repro.interconnect.ring`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..sim.engine import Engine
+from ..sim.fifo import Fifo
+from ..sim.stats import StatGroup
+from .packet import Packet
+from .ring import Ring
+from .routing import RoutingMaskCodec
+
+#: travel-mode values kept in ``packet.meta['state']``
+ASCEND = "ascend"
+TO_SEQ = "to_seq"
+DELIVER = "deliver"
+
+
+class StationRingInterface:
+    """The local ring interface of one station."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        codec: RoutingMaskCodec,
+        station_id: int,
+        ring: Ring,
+        pos: int,
+        *,
+        pkt_gen_ticks: int,
+        handler_ticks: int,
+        bus_granter: Callable,
+        deliver: Callable[[Packet], None],
+        nonsink_limit: int = 16,
+        in_fifo_capacity: int = 256,
+        line_bus_ticks: int = 0,
+        cmd_bus_ticks: int = 0,
+        seq_ticks: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.codec = codec
+        self.station_id = station_id
+        self.ring = ring
+        self.pos = pos
+        self.pkt_gen_ticks = pkt_gen_ticks
+        self.handler_ticks = handler_ticks
+        self.bus_granter = bus_granter
+        self.deliver_cb = deliver
+        self.nonsink_limit = nonsink_limit
+        self.line_bus_ticks = line_bus_ticks
+        self.cmd_bus_ticks = cmd_bus_ticks
+        self.seq_ticks = seq_ticks
+        #: station-position bit index within the level-0 field
+        self.station_bit = codec.geometry.station_coords(station_id)[0]
+
+        self.out_fifo = Fifo(f"S{station_id}.ri.out", capacity=None)
+        self.in_fifo = Fifo(f"S{station_id}.ri.in", capacity=in_fifo_capacity)
+        self.sink_q = Fifo(f"S{station_id}.ri.sink", capacity=None)
+        self.nonsink_q = Fifo(f"S{station_id}.ri.nonsink", capacity=None)
+        self._pending_out: deque = deque()  # nonsinkables waiting for credit
+        self._nonsink_credits = nonsink_limit
+        self._out_busy = False
+        self._handler_busy = False
+        self._drain_busy = False
+        self.stats = StatGroup(f"S{station_id}.ri")
+        engine.blocked_watchers.append(self._blocked_reason)
+
+    # ------------------------------------------------------------------
+    # upward path (station -> ring)
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Inject a message from this station into the network."""
+        if packet.born < 0:
+            packet.born = self.engine.now
+        if not packet.sinkable:
+            if self._nonsink_credits == 0:
+                self._pending_out.append(packet)
+                self.stats.counter("nonsink_credit_waits").incr()
+                return
+            self._nonsink_credits -= 1
+            packet.meta["_credit_home"] = self
+        self._route_prep(packet)
+        packet.meta["_send_enq"] = self.engine.now
+        # packet generator formatting latency, then the output FIFO
+        self.engine.schedule(self.pkt_gen_ticks, self._enqueue_out, packet)
+
+    def release_credit(self) -> None:
+        """A nonsinkable message from this station left the network."""
+        if self._pending_out:
+            packet = self._pending_out.popleft()
+            packet.meta["_credit_home"] = self
+            self._route_prep(packet)
+            packet.meta["_send_enq"] = self.engine.now
+            self.engine.schedule(self.pkt_gen_ticks, self._enqueue_out, packet)
+        else:
+            self._nonsink_credits += 1
+
+    def _route_prep(self, packet: Packet) -> None:
+        codec = self.codec
+        top = codec.highest_level_needed(packet.dest_mask, self.station_id)
+        if top == 0:
+            # Stays on this ring: clear the upper fields so the packet is not
+            # mistaken for an ascending one.
+            packet.dest_mask = codec.clear_upper(packet.dest_mask, 1)
+            packet.meta["state"] = TO_SEQ if packet.ordered else DELIVER
+        else:
+            packet.meta["state"] = ASCEND
+
+    def _enqueue_out(self, packet: Packet) -> None:
+        self.out_fifo.push(packet, self.engine.now)
+        self._pump_out()
+
+    def _pump_out(self) -> None:
+        if self._out_busy or self.out_fifo.empty:
+            return
+        self._out_busy = True
+        packet = self.out_fifo.pop(self.engine.now)
+        # A deliver-mode packet whose only target is this station never
+        # touches the ring (e.g. an unordered self-send); loop it back.
+        state = packet.meta.get("state")
+        fld = self.codec.field(packet.dest_mask, 0)
+        if state == DELIVER and fld == (1 << self.station_bit):
+            self.engine.schedule(0, self._local_loopback, packet)
+            self._out_busy = False
+            self._pump_out()
+            return
+        start = self.ring.inject(self.pos, packet)
+        self.stats.accumulator("send_delay").add(
+            start - packet.meta.pop("_send_enq", start)
+        )
+        done = start + packet.flits * self.ring.slot_ticks
+        self.engine.schedule_at(done, self._out_done)
+
+    def _out_done(self) -> None:
+        self._out_busy = False
+        self._pump_out()
+
+    def _local_loopback(self, packet: Packet) -> None:
+        self._accept(packet)
+
+    # ------------------------------------------------------------------
+    # ring member: arrivals on the local ring
+    # ------------------------------------------------------------------
+    def ring_arrival(self, ring: Ring, packet: Packet) -> None:
+        state = packet.meta.get("state", DELIVER)
+        if state == ASCEND:
+            ring.forward(self.pos, packet)
+            return
+        if state == TO_SEQ:
+            if ring.seq_pos == self.pos:
+                # this member is the sequencing point (single-ring machines):
+                # ordering the multicast costs seq_ticks before it proceeds
+                packet.meta["state"] = DELIVER
+                if self.seq_ticks:
+                    self.engine.schedule(
+                        self.seq_ticks, self._deliver_after_seq, packet
+                    )
+                    return
+            else:
+                ring.forward(self.pos, packet)
+                return
+        # deliver mode
+        fld = self.codec.field(packet.dest_mask, 0)
+        mybit = 1 << self.station_bit
+        if fld & mybit:
+            remaining = fld & ~mybit
+            packet.dest_mask = self.codec.with_field(packet.dest_mask, 0, remaining)
+            if remaining:
+                copy = packet.copy_for_branch()
+                self._accept(copy)
+                ring.forward(self.pos, packet)
+            else:
+                self._accept(packet)  # consumed here
+        else:
+            ring.forward(self.pos, packet)
+
+    def _deliver_after_seq(self, packet: Packet) -> None:
+        self.ring_arrival(self.ring, packet)
+
+    def _accept(self, packet: Packet) -> None:
+        """Downward path entry: the input FIFO between ring and handler.
+        Multi-flit messages finish arriving ``(flits-1)`` slots after their
+        head (cut-through tail lag)."""
+        tail = (packet.flits - 1) * self.ring.slot_ticks
+        if tail and not packet.meta.pop("_tail_done", False):
+            packet.meta["_tail_done"] = True
+            self.engine.schedule(tail, self._accept, packet)
+            return
+        packet.meta.pop("_tail_done", None)
+        packet.meta["_arr"] = self.engine.now
+        self.in_fifo.push(packet, self.engine.now)
+        if self.in_fifo.pressured:
+            self.ring.halt_link(self.pos, self.ring.slot_ticks * 4)
+            self.stats.counter("input_halts").incr()
+        self._pump_handler()
+
+    def _pump_handler(self) -> None:
+        if self._handler_busy or self.in_fifo.empty:
+            return
+        self._handler_busy = True
+        packet = self.in_fifo.pop(self.engine.now)
+        self.engine.schedule(self.handler_ticks, self._handler_done, packet)
+
+    def _handler_done(self, packet: Packet) -> None:
+        if packet.sinkable:
+            self.sink_q.push(packet, self.engine.now)
+        else:
+            self.nonsink_q.push(packet, self.engine.now)
+        self._handler_busy = False
+        self._pump_handler()
+        self._pump_drain()
+
+    def _pump_drain(self) -> None:
+        """Move packets from the sink/nonsink queues onto the station bus,
+        sinkable first (deadlock rule: sinkables have priority)."""
+        if self._drain_busy:
+            return
+        if not self.sink_q.empty:
+            queue, kind = self.sink_q, "sink"
+        elif not self.nonsink_q.empty:
+            queue, kind = self.nonsink_q, "nonsink"
+        else:
+            return
+        self._drain_busy = True
+        packet = queue.pop(self.engine.now)
+        cycles = self.cmd_bus_ticks + (
+            self.line_bus_ticks if packet.data is not None else 0
+        )
+        self.bus_granter(cycles, lambda start, p=packet, k=kind: self._bus_done(p, k))
+
+    def _bus_done(self, packet: Packet, kind: str) -> None:
+        arr = packet.meta.pop("_arr", self.engine.now)
+        self.stats.accumulator(f"down_delay_{kind}").add(self.engine.now - arr)
+        self._drain_busy = False
+        if not packet.sinkable:
+            credit_home = packet.meta.pop("_credit_home", None)
+            if credit_home is not None:
+                credit_home.release_credit()
+        self.deliver_cb(packet)
+        self._pump_drain()
+
+    # ------------------------------------------------------------------
+    def _blocked_reason(self) -> Optional[str]:
+        if self._pending_out:
+            return (
+                f"S{self.station_id} ring interface holds "
+                f"{len(self._pending_out)} packets waiting for nonsinkable credit"
+            )
+        return None
+
+
+class InterRingInterface:
+    """Switch between a child ring and its parent ring (paper: 'both upward
+    and downward paths are implemented with simple FIFO buffers')."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        codec: RoutingMaskCodec,
+        name: str,
+        child: Ring,
+        child_pos: int,
+        parent: Ring,
+        parent_pos: int,
+        *,
+        switch_ticks: int,
+        fifo_capacity: int = 256,
+        seq_ticks: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.codec = codec
+        self.name = name
+        self.child = child
+        self.child_pos = child_pos
+        self.parent = parent
+        self.parent_pos = parent_pos
+        self.switch_ticks = switch_ticks
+        self.seq_ticks = seq_ticks
+        self.up_fifo = Fifo(f"{name}.up", capacity=fifo_capacity)
+        self.down_fifo = Fifo(f"{name}.down", capacity=fifo_capacity)
+        self._up_busy = False
+        self._down_busy = False
+        self.stats = StatGroup(name)
+
+    # ------------------------------------------------------------------
+    def ring_arrival(self, ring: Ring, packet: Packet) -> None:
+        if ring is self.child:
+            self._child_arrival(packet)
+        elif ring is self.parent:
+            self._parent_arrival(packet)
+        else:  # pragma: no cover - wiring error
+            raise RuntimeError(f"{self.name} got packet from unknown ring")
+
+    # ---- child ring side ---------------------------------------------
+    def _child_arrival(self, packet: Packet) -> None:
+        state = packet.meta.get("state", DELIVER)
+        if state == ASCEND:
+            self._enqueue_up(packet)
+            return
+        if state == TO_SEQ and self.child.seq_pos == self.child_pos:
+            # This interface is the child ring's sequencing point: ordering
+            # the multicast costs seq_ticks before the copies proceed.
+            packet.meta["state"] = DELIVER
+            if self.seq_ticks:
+                self.engine.schedule(
+                    self.seq_ticks,
+                    lambda p=packet: self.child.forward(self.child_pos, p),
+                )
+                return
+        self.child.forward(self.child_pos, packet)
+
+    def _enqueue_up(self, packet: Packet) -> None:
+        packet.meta["_up_enq"] = self.engine.now
+        self.up_fifo.push(packet, self.engine.now)
+        if self.up_fifo.pressured:
+            self.child.halt_link(self.child_pos, self.child.slot_ticks * 4)
+        self._pump_up()
+
+    def _pump_up(self) -> None:
+        if self._up_busy or self.up_fifo.empty:
+            return
+        self._up_busy = True
+        packet = self.up_fifo.pop(self.engine.now)
+        self.engine.schedule(self.switch_ticks, self._inject_parent, packet)
+
+    def _inject_parent(self, packet: Packet) -> None:
+        # Reached the parent ring: decide the packet's mode there.
+        higher = False
+        for level in range(self.parent.level + 1, self.codec.geometry.num_levels):
+            if self.codec.field(packet.dest_mask, level):
+                higher = True
+                break
+        if higher:
+            packet.meta["state"] = ASCEND
+        else:
+            packet.meta["state"] = TO_SEQ if packet.ordered else DELIVER
+        start = self.parent.inject(self.parent_pos, packet)
+        self.stats.accumulator("up_delay").add(
+            start - packet.meta.pop("_up_enq", start)
+        )
+        done = start + packet.flits * self.parent.slot_ticks
+        self.engine.schedule_at(done, self._up_done)
+
+    def _up_done(self) -> None:
+        self._up_busy = False
+        self._pump_up()
+
+    # ---- parent ring side ---------------------------------------------
+    def _parent_arrival(self, packet: Packet) -> None:
+        state = packet.meta.get("state", DELIVER)
+        if state == ASCEND:
+            # Only possible in 3+ level machines; this interface is not the
+            # one that switches further up (each ring has one upward link).
+            self.parent.forward(self.parent_pos, packet)
+            return
+        if state == TO_SEQ:
+            if self.parent.seq_pos == self.parent_pos:
+                packet.meta["state"] = DELIVER
+                if self.seq_ticks and not packet.meta.pop("_seq_done", False):
+                    packet.meta["_seq_done"] = True
+                    packet.meta["state"] = TO_SEQ
+                    self.engine.schedule(
+                        self.seq_ticks,
+                        lambda p=packet: self._parent_arrival(p),
+                    )
+                    return
+            else:
+                self.parent.forward(self.parent_pos, packet)
+                return
+        fld = self.codec.field(packet.dest_mask, self.parent.level)
+        mybit = 1 << self.parent_pos
+        if fld & mybit:
+            remaining = fld & ~mybit
+            packet.dest_mask = self.codec.with_field(
+                packet.dest_mask, self.parent.level, remaining
+            )
+            if remaining:
+                copy = packet.copy_for_branch()
+                self._enqueue_down(copy)
+                self.parent.forward(self.parent_pos, packet)
+            else:
+                self._enqueue_down(packet)
+        else:
+            self.parent.forward(self.parent_pos, packet)
+
+    def _enqueue_down(self, packet: Packet) -> None:
+        # Switching down clears every higher-level field (paper §2.2).
+        packet.dest_mask = self.codec.clear_upper(packet.dest_mask, self.parent.level)
+        packet.meta["state"] = DELIVER
+        packet.meta["_down_enq"] = self.engine.now
+        self.down_fifo.push(packet, self.engine.now)
+        if self.down_fifo.pressured:
+            self.parent.halt_link(self.parent_pos, self.parent.slot_ticks * 4)
+        self._pump_down()
+
+    def _pump_down(self) -> None:
+        if self._down_busy or self.down_fifo.empty:
+            return
+        self._down_busy = True
+        packet = self.down_fifo.pop(self.engine.now)
+        self.engine.schedule(self.switch_ticks, self._inject_child, packet)
+
+    def _inject_child(self, packet: Packet) -> None:
+        start = self.child.inject(self.child_pos, packet)
+        self.stats.accumulator("down_delay").add(
+            start - packet.meta.pop("_down_enq", start)
+        )
+        done = start + packet.flits * self.child.slot_ticks
+        self.engine.schedule_at(done, self._down_done)
+
+    def _down_done(self) -> None:
+        self._down_busy = False
+        self._pump_down()

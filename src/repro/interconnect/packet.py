@@ -1,0 +1,160 @@
+"""Packet and message-type definitions (paper §2.2, §2.4).
+
+A *message* is one logical transfer (request, response, invalidation, ...).
+Messages that carry a cache line or block occupy several ring slots; the
+simulator models a multi-packet message as a single :class:`Packet` object
+whose ``flits`` count charges the right number of slots on every link it
+crosses (the hardware's tag-based reassembly is folded into this — the
+packet handler sees the message once, fully reassembled).
+
+Deadlock avoidance (§2.4) splits messages into two classes:
+
+* **sinkable** — messages that elicit no response and can always be consumed:
+  read responses, write-backs, multicasts, invalidation commands, NACKs,
+  interrupts.
+* **nonsinkable** — messages that elicit responses: all flavours of read /
+  write-permission requests and interventions.
+
+Ring interfaces keep the two classes in separate queues, always give
+sinkable messages priority and a guaranteed downward path, and bound the
+number of nonsinkable messages a station may have in the network.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class MsgType(enum.Enum):
+    """Every message type exchanged in the machine."""
+
+    # ---- nonsinkable requests -------------------------------------------
+    READ = enum.auto()            # shared read request (cache line fill)
+    READ_EX = enum.auto()         # read exclusive (write) request
+    UPGRADE = enum.auto()         # write permission for an already-shared line
+    SPECIAL_READ = enum.auto()    # ownership granted but data was stale (§4.6)
+    INTERVENTION = enum.auto()    # forwarded read to the dirty owner's station
+    INTERVENTION_EX = enum.auto() # forwarded read-exclusive to the owner
+    PREFETCH = enum.auto()        # software prefetch into the network cache
+    BLOCK_COPY_REQ = enum.auto()  # memory-to-memory block copy request (§3.2)
+
+    # ---- sinkable responses / commands ----------------------------------
+    DATA_RESP = enum.auto()       # cache line data, shared
+    DATA_RESP_EX = enum.auto()    # cache line data + ownership
+    ACK_UPGRADE = enum.auto()     # write permission granted, no data
+    INVALIDATE = enum.auto()      # ordered multicast invalidation
+    KILL = enum.auto()            # software kill (invalidate incl. dirty) command
+    NACK = enum.auto()            # negative acknowledgement (locked line) - retry
+    WRITE_BACK = enum.auto()      # dirty line written back to home / NC
+    MULTICAST_DATA = enum.auto()  # software multicast of data to NCs (§3.2)
+    BLOCK_DATA = enum.auto()      # block transfer payload
+    INTERRUPT = enum.auto()       # interrupt-register write (possibly multicast)
+    BARRIER_WRITE = enum.auto()   # barrier-register write (multicast, no interrupt)
+    XFER_ACK = enum.auto()        # ownership-transfer notice to the home memory
+    NACK_INTERVENTION = enum.auto()  # owner NC could not supply data; bounce requester
+    NO_DATA = enum.auto()         # owner NC reports a write-back already in flight
+    DIR_LOCK_READ = enum.auto()   # softctl: atomically lock a line + read its tags
+    DIR_INFO = enum.auto()        # softctl: directory-state response
+    BLOCK_OP = enum.auto()        # softctl: block kill/invalidate/writeback request
+    READ_UNCACHED = enum.auto()   # single-word read, no caching (§3.2 page attr)
+    WRITE_UNCACHED = enum.auto()  # single-word write, no caching
+    UNCACHED_RESP = enum.auto()   # word value back to the requester
+
+
+#: Message types that elicit a response (must never be blocked by sinkables).
+NONSINKABLE = frozenset(
+    {
+        MsgType.READ,
+        MsgType.READ_EX,
+        MsgType.UPGRADE,
+        MsgType.SPECIAL_READ,
+        MsgType.INTERVENTION,
+        MsgType.INTERVENTION_EX,
+        MsgType.PREFETCH,
+        MsgType.BLOCK_COPY_REQ,
+        MsgType.DIR_LOCK_READ,
+        MsgType.BLOCK_OP,
+        MsgType.READ_UNCACHED,
+    }
+)
+
+
+def is_sinkable(mtype: MsgType) -> bool:
+    return mtype not in NONSINKABLE
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One logical message travelling through the machine.
+
+    Attributes
+    ----------
+    mtype:
+        Message type.
+    addr:
+        Cache-line-aligned physical address the message concerns (0 for
+        pure interrupt traffic).
+    src_station / dest_mask:
+        Source station id and destination routing mask (codec-encoded).
+    requester:
+        Global processor id that initiated the chain (for responses to find
+        their way back to the right CPU), or ``None`` for module-originated
+        traffic.
+    data:
+        Cache-line payload (list of words) or other payload; ``None`` for
+        dataless messages.
+    flits:
+        Ring slots this message occupies per link (1 for dataless messages,
+        ``1 + line_words/words_per_flit`` for line carriers).
+    ordered:
+        True for multicasts that must pass the sequencing point of the
+        highest ring they reach (invalidations and other SC-ordered traffic).
+    meta:
+        Protocol scratch fields (e.g. the owner mask an intervention should
+        restore, block-transfer progress, monitor phase id).
+    """
+
+    mtype: MsgType
+    addr: int
+    src_station: int
+    dest_mask: int
+    requester: Optional[int] = None
+    data: Any = None
+    flits: int = 1
+    ordered: bool = False
+    meta: Dict[str, Any] = field(default_factory=dict)
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    #: engine tick when the message was first injected (latency accounting)
+    born: int = -1
+
+    @property
+    def sinkable(self) -> bool:
+        return is_sinkable(self.mtype)
+
+    def copy_for_branch(self) -> "Packet":
+        """Duplicate for a multicast branch (descending copies share payload
+        but are distinct packets with their own ids)."""
+        return Packet(
+            mtype=self.mtype,
+            addr=self.addr,
+            src_station=self.src_station,
+            dest_mask=self.dest_mask,
+            requester=self.requester,
+            data=self.data,
+            flits=self.flits,
+            ordered=self.ordered,
+            meta=dict(self.meta),
+            born=self.born,
+        )
+
+    def __repr__(self) -> str:  # compact for debug traces
+        return (
+            f"Pkt#{self.pid}({self.mtype.name} addr={self.addr:#x} "
+            f"src=S{self.src_station} mask={self.dest_mask:#06b} req={self.requester})"
+        )

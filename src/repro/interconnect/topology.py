@@ -1,0 +1,114 @@
+"""Hierarchy builder: wires rings and inter-ring interfaces for any
+:class:`~repro.interconnect.routing.Geometry`.
+
+Level-0 (local) rings carry the stations plus, in multi-level machines, one
+inter-ring interface at the last position.  Higher-level rings carry one
+position per child ring, plus an up-interface when a further level exists.
+Sequencing points (ordered-multicast serialization, §2.3) sit at each
+ring's upward connection; the top ring designates position 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..sim.engine import Engine
+from .interfaces import InterRingInterface
+from .ring import Ring
+from .routing import Geometry, RoutingMaskCodec
+
+
+@dataclass
+class Interconnect:
+    """All rings and inter-ring interfaces of one machine."""
+
+    codec: RoutingMaskCodec
+    #: rings keyed by (level, coords-above-that-level)
+    rings: Dict[Tuple[int, Tuple[int, ...]], Ring] = field(default_factory=dict)
+    iris: List[InterRingInterface] = field(default_factory=list)
+
+    def local_ring_for(self, station_id: int) -> Tuple[Ring, int]:
+        """The (ring, position) a station attaches to."""
+        coords = self.codec.geometry.station_coords(station_id)
+        ring = self.rings[(0, tuple(coords[1:]))]
+        return ring, coords[0]
+
+    @property
+    def local_rings(self) -> List[Ring]:
+        return [r for (lvl, _), r in sorted(self.rings.items()) if lvl == 0]
+
+    @property
+    def central_ring(self) -> Ring:
+        top = self.codec.geometry.num_levels - 1
+        return self.rings[(top, ())]
+
+
+def build_interconnect(engine: Engine, config) -> Interconnect:
+    """Create every ring and inter-ring interface for ``config.geometry``."""
+    geometry: Geometry = config.geometry
+    codec = RoutingMaskCodec(geometry)
+    net = Interconnect(codec=codec)
+    levels = geometry.levels
+    top = len(levels) - 1
+    slot = config.ring_slot_ticks
+    hop = config.ring_hop_ticks
+    from ..sim.engine import ns_to_ticks
+
+    switch_ticks = ns_to_ticks(config.iri_switch_ns)
+
+    def coords_above(level: int):
+        """All coordinate tuples identifying rings at ``level``."""
+        dims = levels[level + 1 :]
+        out: List[Tuple[int, ...]] = [()]
+        for width in reversed(dims):
+            out = [(c,) + rest for c in range(width) for rest in out]
+        # produce tuples ordered (level+1, level+2, ...)
+        dims_n = len(dims)
+        result = []
+
+        def rec(i: int, acc: Tuple[int, ...]):
+            if i == dims_n:
+                result.append(acc)
+                return
+            for c in range(dims[i]):
+                rec(i + 1, acc + (c,))
+
+        rec(0, ())
+        return result
+
+    # create rings, bottom-up
+    for level in range(len(levels)):
+        has_up = level < top
+        size = levels[level] + (1 if has_up else 0)
+        seq = levels[level] if has_up else 0
+        for coords in coords_above(level):
+            name = f"ring.L{level}" + ("." + ".".join(map(str, coords)) if coords else "")
+            net.rings[(level, coords)] = Ring(
+                engine, name, level, size, slot, hop, seq_pos=seq
+            )
+
+    # create inter-ring interfaces between consecutive levels
+    for level in range(top):
+        for coords in coords_above(level):
+            child = net.rings[(level, coords)]
+            parent = net.rings[(level + 1, coords[1:])]
+            child_pos = levels[level]
+            parent_pos = coords[0]
+            iri = InterRingInterface(
+                engine,
+                codec,
+                f"iri.L{level}to{level + 1}." + ".".join(map(str, coords)),
+                child,
+                child_pos,
+                parent,
+                parent_pos,
+                switch_ticks=switch_ticks,
+                fifo_capacity=config.iri_fifo_capacity,
+                seq_ticks=ns_to_ticks(config.seq_point_ns),
+            )
+            child.attach(child_pos, iri)
+            parent.attach(parent_pos, iri)
+            net.iris.append(iri)
+
+    return net

@@ -1,0 +1,5 @@
+"""Memory modules: DRAM + directory SRAM + the memory-side protocol engine."""
+
+from .memory_module import MemoryModule, Pending
+
+__all__ = ["MemoryModule", "Pending"]

@@ -1,0 +1,772 @@
+"""The station memory module (paper §3.1.2) and its coherence engine.
+
+Each station owns a contiguous physical address range.  The module couples:
+
+* DRAM for line data (two interleaved banks in hardware; modelled as the
+  line-read/line-write latencies of the master controller's pipeline),
+* SRAM holding the network-level directory: per line a routing mask of
+  stations that may hold copies, a processor mask of local sharers, the
+  LV/LI/GV/GI state and a lock bit,
+* the *hardware cache coherence* block implementing the memory side of the
+  two-level protocol (Fig. 5), and
+* special functions (block operations, coherence bypass, interrupts) used
+  by system software (§3.2) — dispatched to :mod:`repro.softctl`.
+
+Requests arrive from the station bus (local processors) and from the ring
+interface (remote stations); the master controller services them serially.
+Lines undergoing a transition are *locked*; requests that hit a locked line
+are negatively acknowledged and retried by the requester, never queued —
+that is what keeps the module's service path simple and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.directory import DirEntry, Directory
+from ..core.states import LineState
+from ..interconnect.packet import MsgType, Packet
+from ..sim.engine import Engine, SimulationError, ns_to_ticks
+from ..sim.fifo import Fifo
+from ..sim.stats import StatGroup
+
+
+@dataclass
+class Pending:
+    """The in-flight transaction record stored while a line is locked."""
+
+    kind: str                      # 'inv' | 'fetch' | 'awaiting_wb'
+    req_type: MsgType
+    requester: Optional[int]       # global cpu id
+    req_station: int
+    is_local: bool                 # requester is on the home station
+    grant: str = "data"            # 'data' | 'ack' (what to deliver on unlock)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class MemoryModule:
+    """Home memory + directory + coherence engine for one station."""
+
+    def __init__(self, engine: Engine, config, station) -> None:
+        self.engine = engine
+        self.config = config
+        self.station = station
+        self.station_id = station.station_id
+        self.codec = station.codec
+        self.directory = Directory(
+            self.codec,
+            self.station_id,
+            default_state=LineState.LV,
+            exact_sharers=config.exact_sharers,
+        )
+        self.data: Dict[int, List] = {}
+        from ..system.bus import OrderedPort
+
+        self.out_port = OrderedPort(engine, station.bus)
+        self.in_fifo = Fifo(f"S{self.station_id}.mem.in", capacity=None)
+        self._busy = False
+        self.stats = StatGroup(f"S{self.station_id}.mem")
+        #: optional monitor (histogram tables etc.); see repro.monitor
+        self.monitor = None
+        self._lookup_ticks = ns_to_ticks(config.dir_sram_ns)
+        #: transaction ids stamp each lock instance so stale intervention
+        #: answers from an earlier, already-resolved round are ignored
+        self._txn = 0
+
+    # ==================================================================
+    # data storage
+    # ==================================================================
+    def read_line(self, line_addr: int) -> List:
+        line = self.data.get(line_addr)
+        if line is None:
+            return [0] * self.config.line_words
+        return list(line)
+
+    def write_line(self, line_addr: int, data: List) -> None:
+        self.data[line_addr] = list(data)
+
+    # ==================================================================
+    # request entry points
+    # ==================================================================
+    def handle(self, pkt: Packet) -> None:
+        """Entry for both bus-side and ring-side traffic."""
+        self.in_fifo.push(pkt, self.engine.now)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or self.in_fifo.empty:
+            return
+        self._busy = True
+        pkt = self.in_fifo.pop(self.engine.now)
+        self.engine.schedule(self._lookup_ticks, self._service, pkt)
+
+    def _service(self, pkt: Packet) -> None:
+        extra = self._dispatch(pkt)
+        self.engine.schedule(extra or 0, self._service_done)
+
+    def _service_done(self) -> None:
+        self._busy = False
+        self._pump()
+
+    # ==================================================================
+    # dispatch
+    # ==================================================================
+    def _dispatch(self, pkt: Packet) -> int:
+        entry = self.directory.entry(self.config.line_addr(pkt.addr))
+        if self.monitor is not None:
+            self.monitor.record_memory_txn(self.station_id, pkt, entry)
+        mtype = pkt.mtype
+        local = bool(pkt.meta.get("local"))
+        handler = {
+            MsgType.READ: self._on_read,
+            MsgType.READ_EX: self._on_read_ex,
+            MsgType.UPGRADE: self._on_upgrade,
+            MsgType.SPECIAL_READ: self._on_special_read,
+            MsgType.WRITE_BACK: self._on_write_back,
+            MsgType.DATA_RESP: self._on_data_home,
+            MsgType.DATA_RESP_EX: self._on_data_home,
+            MsgType.INVALIDATE: self._on_invalidate_return,
+            MsgType.PREFETCH: self._on_read,
+            MsgType.XFER_ACK: self._on_xfer_ack,
+            MsgType.NACK_INTERVENTION: self._on_nack_intervention,
+            MsgType.NO_DATA: self._on_no_data,
+            MsgType.READ_UNCACHED: self._on_read_uncached,
+            MsgType.WRITE_UNCACHED: self._on_write_uncached,
+        }.get(mtype)
+        if handler is None:
+            handler = self._on_other
+        return handler(pkt, entry, local)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _on_read(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        cfg = self.config
+        if entry.locked:
+            return self._nack(pkt, local)
+        st = entry.state
+        if st in (LineState.LV, LineState.GV):
+            data = self.read_line(pkt.addr)
+            dram = self._dram_read_ticks()
+            if local:
+                entry.proc_mask |= 1 << self._local_index(pkt.requester)
+                self._respond_local(pkt, data, exclusive=False, delay=dram)
+            else:
+                entry.state = LineState.GV
+                self.directory.add_station(entry, pkt.src_station)
+                self.directory.add_station(entry, self.station_id)
+                self._send_data(pkt, data, exclusive=False, delay=dram)
+            return dram
+        if st is LineState.LI:
+            # dirty in a local secondary cache: bus intervention
+            self._lock(entry, Pending(
+                kind="fetch",
+                req_type=pkt.mtype,
+                requester=pkt.requester,
+                req_station=pkt.src_station,
+                is_local=local,
+                grant="data",
+            ))
+            self._local_intervention(pkt.addr, entry, exclusive=False)
+            return 0
+        # GI: a remote network cache owns the line
+        owner = self._owner_station(entry)
+        if owner == pkt.src_station and not local:
+            # false remote: requester's own station still owns it (§4.6)
+            self.stats.counter("false_remote_bounces").incr()
+            self._lock(entry, Pending(
+                kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
+                req_station=pkt.src_station, is_local=False, grant="data",
+            ))
+            self._send_intervention(pkt, owner, exclusive=False, false_remote=True)
+            return 0
+        self._lock(entry, Pending(
+            kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
+            req_station=pkt.src_station, is_local=local, grant="data",
+        ))
+        self._send_intervention(pkt, owner, exclusive=False)
+        return 0
+
+    # ------------------------------------------------------------------
+    # writes (read-exclusive)
+    # ------------------------------------------------------------------
+    def _on_read_ex(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        if entry.locked:
+            return self._nack(pkt, local)
+        st = entry.state
+        if st is LineState.LV:
+            return self._grant_exclusive_from_valid(pkt, entry, local, had_remote=False)
+        if st is LineState.GV:
+            return self._grant_exclusive_from_valid(pkt, entry, local, had_remote=True)
+        if st is LineState.LI:
+            self._lock(entry, Pending(
+                kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
+                req_station=pkt.src_station, is_local=local, grant="data",
+            ))
+            self._local_intervention(pkt.addr, entry, exclusive=True)
+            return 0
+        # GI: forward to the owning station
+        owner = self._owner_station(entry)
+        if owner == pkt.src_station and not local:
+            self.stats.counter("false_remote_bounces").incr()
+            self._lock(entry, Pending(
+                kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
+                req_station=pkt.src_station, is_local=False, grant="data",
+            ))
+            self._send_intervention(pkt, owner, exclusive=True, false_remote=True)
+            return 0
+        self._lock(entry, Pending(
+            kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
+            req_station=pkt.src_station, is_local=local, grant="data",
+        ))
+        self._send_intervention(pkt, owner, exclusive=True)
+        return 0
+
+    def _grant_exclusive_from_valid(
+        self, pkt: Packet, entry: DirEntry, local: bool, had_remote: bool
+    ) -> int:
+        """LV/GV -> exclusive grant, invalidating all other copies."""
+        cfg = self.config
+        grant = "ack" if pkt.mtype is MsgType.UPGRADE else "data"
+        remote_mask = self._remote_sharers(entry)
+        if had_remote and remote_mask:
+            # Ordered multicast invalidation; completion at its return (§2.3).
+            if not local and grant == "data":
+                # fig 7: data goes out first, the invalidation follows
+                self._send_data(pkt, self.read_line(pkt.addr), exclusive=True,
+                                inv_follows=True, delay=self._dram_read_ticks())
+            self._lock(entry, Pending(
+                kind="inv", req_type=pkt.mtype, requester=pkt.requester,
+                req_station=pkt.src_station, is_local=local, grant=grant,
+            ))
+            self._send_invalidate(pkt, entry, remote_mask)
+            return self._dram_read_ticks() if grant == "data" else 0
+        # only local copies: invalidate over the bus and answer immediately
+        self._invalidate_local(pkt.addr, entry, keep=pkt.requester if local else None)
+        if local:
+            idx = self._local_index(pkt.requester)
+            entry.state = LineState.LI
+            entry.proc_mask = 1 << idx
+            self.directory.set_station(entry, self.station_id)
+            if grant == "ack" and self._cpu_has_copy(pkt.requester, pkt.addr):
+                self._respond_local(pkt, None, exclusive=True)
+                return 0
+            self._respond_local(
+                pkt, self.read_line(pkt.addr), exclusive=True,
+                delay=self._dram_read_ticks(),
+            )
+            return self._dram_read_ticks()
+        entry.state = LineState.GI
+        entry.proc_mask = 0
+        self.directory.set_station(entry, pkt.src_station)
+        if grant == "ack":
+            # upgrade with no other sharers: a lone invalidate acts as the ack
+            # (no lock is held, so home is excluded from the multicast)
+            self._send_invalidate(pkt, entry, 0, include_home=False)
+            return 0
+        self._send_data(pkt, self.read_line(pkt.addr), exclusive=True,
+                        inv_follows=False, delay=self._dram_read_ticks())
+        return self._dram_read_ticks()
+
+    # ------------------------------------------------------------------
+    # upgrades (write permission without data)
+    # ------------------------------------------------------------------
+    def _on_upgrade(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        if entry.locked:
+            return self._nack(pkt, local)
+        st = entry.state
+        if st in (LineState.LV, LineState.GV):
+            requester_station = self.station_id if local else pkt.src_station
+            may_have = local or self.directory.may_have_copy(entry, requester_station)
+            if self.config.optimistic_upgrade and may_have:
+                return self._grant_exclusive_from_valid(
+                    pkt, entry, local, had_remote=(st is LineState.GV)
+                )
+            # pessimistic (or known-stale): answer with data like a READ_EX
+            self.stats.counter("upgrade_data_sent").incr()
+            data_pkt = Packet(
+                mtype=MsgType.READ_EX, addr=pkt.addr,
+                src_station=pkt.src_station, dest_mask=0,
+                requester=pkt.requester, meta=dict(pkt.meta),
+            )
+            return self._on_read_ex(data_pkt, entry, local)
+        # The requester's copy is long gone (LI/GI): fall back to READ_EX.
+        self.stats.counter("upgrade_fallback").incr()
+        data_pkt = Packet(
+            mtype=MsgType.READ_EX, addr=pkt.addr,
+            src_station=pkt.src_station, dest_mask=0,
+            requester=pkt.requester, meta=dict(pkt.meta),
+        )
+        return self._on_read_ex(data_pkt, entry, local)
+
+    def _on_special_read(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        """§4.6: the requester owns the line but never received data."""
+        if entry.locked:
+            return self._nack(pkt, local)
+        self.stats.counter("special_reads_served").incr()
+        data = self.read_line(pkt.addr)
+        dram = self._dram_read_ticks()
+        if local:
+            self._respond_local(pkt, data, exclusive=True, delay=dram)
+        else:
+            self._send_data(pkt, data, exclusive=True, inv_follows=False, delay=dram)
+        return dram
+
+    # ------------------------------------------------------------------
+    # write-backs and returning data
+    # ------------------------------------------------------------------
+    def _on_write_back(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        self.write_line(pkt.addr, pkt.data)
+        if entry.locked and entry.pending is not None and entry.pending.kind in (
+            "awaiting_wb",
+            "fetch",
+        ):
+            # the write-back crossed our intervention: complete the request
+            pending = entry.pending
+            self._unlock(entry)
+            self._complete_after_wb(pkt, entry, pending)
+            return self._dram_write_ticks()
+        if local:
+            # dirty secondary-cache eviction on the home station
+            entry.state = LineState.LV
+            if pkt.requester is not None:
+                entry.proc_mask &= ~(1 << self._local_index(pkt.requester))
+            self.directory.set_station(entry, self.station_id)
+        else:
+            # a network cache ejected its (exclusively held) copy
+            entry.state = LineState.GV
+            self.directory.add_station(entry, self.station_id)
+        return self._dram_write_ticks()
+
+    def _complete_after_wb(self, pkt: Packet, entry: DirEntry, pending: Pending) -> None:
+        req = Packet(
+            mtype=pending.req_type, addr=pkt.addr,
+            src_station=pending.req_station, dest_mask=0,
+            requester=pending.requester,
+            meta={"local": pending.is_local, "retry": True},
+        )
+        # The line is now plain valid; rerun the request against fresh state.
+        # Keep the old sharer mask (L2s at the ejecting station may retain
+        # shared copies), just fold in the home station.
+        entry.state = LineState.LV if pending.is_local else LineState.GV
+        entry.proc_mask = 0
+        self.directory.add_station(entry, self.station_id)
+        self.handle(req)
+
+    def _txn_matches(self, pkt: Packet, entry: DirEntry) -> bool:
+        """Does this intervention answer belong to the current lock round?"""
+        if not (entry.locked and entry.pending is not None):
+            return False
+        expect = entry.pending.extra.get("txn")
+        got = pkt.meta.get("txn")
+        return got is None or expect is None or got == expect
+
+    def _on_data_home(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        """A copy of the line returning to its home (intervention answers)."""
+        if not self._txn_matches(pkt, entry):
+            # stray copy (e.g. late duplicate); just absorb the data
+            self.stats.counter("stale_answers").incr()
+            self.write_line(pkt.addr, pkt.data)
+            return self._dram_write_ticks()
+        pending = entry.pending
+        self.write_line(pkt.addr, pkt.data)
+        exclusive = pkt.mtype is MsgType.DATA_RESP_EX
+        self._unlock(entry)
+        if exclusive:
+            # ownership moved to the pending requester
+            if pending.is_local:
+                idx = self._local_index(pending.requester)
+                entry.state = LineState.LI
+                entry.proc_mask = 1 << idx
+                self.directory.set_station(entry, self.station_id)
+                self._respond_local_pending(pkt.addr, pending, pkt.data, exclusive=True)
+            else:
+                entry.state = LineState.GI
+                entry.proc_mask = 0
+                self.directory.set_station(entry, pending.req_station)
+        else:
+            entry.state = LineState.GV
+            self.directory.add_station(entry, self.station_id)
+            self.directory.add_station(entry, pending.req_station)
+            if pending.is_local:
+                idx = self._local_index(pending.requester)
+                entry.proc_mask |= 1 << idx
+                self._respond_local_pending(pkt.addr, pending, pkt.data, exclusive=False)
+        return self._dram_write_ticks()
+
+    def _on_xfer_ack(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        """Ownership-transfer notification from the old owner's NC."""
+        if self._txn_matches(pkt, entry):
+            pending = entry.pending
+            self._unlock(entry)
+            entry.state = LineState.GI
+            entry.proc_mask = 0
+            self.directory.set_station(entry, pending.req_station)
+        return 0
+
+    def _on_nack_intervention(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        """The owner's NC could not supply data and no write-back is coming:
+        bounce the original requester so it retries from scratch."""
+        if not self._txn_matches(pkt, entry):
+            self.stats.counter("stale_answers").incr()
+            return 0
+        pending = entry.pending
+        self._unlock(entry)
+        if pending.is_local:
+            cpu = self.station.cpu_by_global(pending.requester)
+            self.out_port.send(
+                0, self.config.cmd_bus_ticks,
+                lambda start, c=cpu, a=pkt.addr: c.nack_from_module(a),
+            )
+        else:
+            nack = Packet(
+                mtype=MsgType.NACK, addr=pkt.addr,
+                src_station=self.station_id,
+                dest_mask=self.codec.station_mask(pending.req_station),
+                requester=pending.requester,
+            )
+            self._send_packet(nack, has_data=False)
+        return 0
+
+    def _on_no_data(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        """Owner reports a write-back is in flight; wait for it.  (Only the
+        bus-level race inside one station uses this path now; the ring-level
+        protocol answers NACK_INTERVENTION instead.)"""
+        if self._txn_matches(pkt, entry):
+            entry.pending.kind = "awaiting_wb"
+        return 0
+
+    # ------------------------------------------------------------------
+    # invalidation return (the unlock signal, paper fig 7)
+    # ------------------------------------------------------------------
+    def _on_invalidate_return(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        if not (entry.locked and entry.pending is not None and entry.pending.kind == "inv"):
+            # an invalidation for a line this memory no longer tracks as
+            # pending: invalidate local copies (inexact-mask delivery)
+            if entry.proc_mask and entry.state in (LineState.LV, LineState.GV):
+                self._invalidate_local(pkt.addr, entry, keep=None)
+                entry.state = LineState.GI
+            self.stats.counter("stray_invalidates").incr()
+            return 0
+        pending = entry.pending
+        self._unlock(entry)
+        keep = pending.requester if pending.is_local else None
+        self._invalidate_local(pkt.addr, entry, keep=keep)
+        if pending.is_local:
+            idx = self._local_index(pending.requester)
+            entry.state = LineState.LI
+            entry.proc_mask = 1 << idx
+            self.directory.set_station(entry, self.station_id)
+            if pending.grant == "ack" and self._cpu_has_copy(pending.requester, pkt.addr):
+                self._respond_local_pending(pkt.addr, pending, None, exclusive=True)
+            else:
+                self._respond_local_pending(
+                    pkt.addr, pending, self.read_line(pkt.addr), exclusive=True,
+                    delay=self._dram_read_ticks(),
+                )
+        else:
+            entry.state = LineState.GI
+            entry.proc_mask = 0
+            self.directory.set_station(entry, pending.req_station)
+        return 0
+
+    # ------------------------------------------------------------------
+    # uncached word accesses (cacheable=False pages, §3.2)
+    # ------------------------------------------------------------------
+    def _word_index(self, addr: int) -> int:
+        return (addr % self.config.line_bytes) // self.config.word_bytes
+
+    def _on_read_uncached(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        la = self.config.line_addr(pkt.addr)
+        value = self.read_line(la)[self._word_index(pkt.addr)]
+        self.stats.counter("uncached_reads").incr()
+        if local:
+            cpu = self.station.cpu_by_global(pkt.requester)
+            self.out_port.send(
+                self._dram_read_ticks(), self.config.cmd_bus_ticks,
+                lambda start, c=cpu, a=pkt.addr, v=value: c.complete_uncached(a, v),
+            )
+        else:
+            resp = Packet(
+                mtype=MsgType.UNCACHED_RESP, addr=pkt.addr,
+                src_station=self.station_id,
+                dest_mask=self.codec.station_mask(pkt.src_station),
+                requester=pkt.requester, data=value,
+            )
+            self._send_packet(resp, has_data=False, delay=self._dram_read_ticks())
+        return self._dram_read_ticks()
+
+    def _on_write_uncached(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        la = self.config.line_addr(pkt.addr)
+        line = self.read_line(la)
+        line[self._word_index(pkt.addr)] = pkt.data
+        self.write_line(la, line)
+        self.stats.counter("uncached_writes").incr()
+        return self._dram_write_ticks()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _on_other(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
+        from ..softctl import ops as softops
+
+        return softops.memory_dispatch(self, pkt, entry, local)
+
+    def _nack(self, pkt: Packet, local: bool) -> int:
+        self.stats.counter("nacks").incr()
+        if local:
+            cpu = self.station.cpu_by_global(pkt.requester)
+            self.out_port.send(
+                0, self.config.cmd_bus_ticks,
+                lambda start, c=cpu, a=pkt.addr: c.nack_from_module(a),
+            )
+        else:
+            nack = Packet(
+                mtype=MsgType.NACK, addr=pkt.addr,
+                src_station=self.station_id,
+                dest_mask=self.codec.station_mask(pkt.src_station),
+                requester=pkt.requester,
+            )
+            self._send_packet(nack, has_data=False)
+        return 0
+
+    def _lock(self, entry: DirEntry, pending: Pending) -> None:
+        if entry.locked:
+            raise SimulationError("double lock on memory line")
+        self._txn += 1
+        pending.extra["txn"] = self._txn
+        entry.locked = True
+        entry.pending = pending
+
+    def _unlock(self, entry: DirEntry) -> None:
+        entry.locked = False
+        entry.pending = None
+
+    def _local_index(self, global_cpu: int) -> int:
+        return global_cpu % self.config.cpus_per_station
+
+    def _cpu_has_copy(self, global_cpu: int, line_addr: int) -> bool:
+        cpu = self.station.cpu_by_global(global_cpu)
+        line = cpu.l2.lookup(line_addr, touch=False)
+        return line is not None and line.state.readable
+
+    def _owner_station(self, entry: DirEntry) -> int:
+        """GI state: the routing mask names the owning station exactly
+        (exclusive grants always use set_station)."""
+        mask = self.directory.sharer_mask(entry)
+        try:
+            return self.codec.single_station(mask)
+        except ValueError:
+            # Defensive: pick the first selected station.
+            stations = self.codec.stations(mask)
+            if not stations:
+                raise SimulationError(
+                    f"GI line {entry!r} with empty owner mask"
+                )
+            return stations[0]
+
+    def _remote_sharers(self, entry: DirEntry) -> int:
+        """Sharer mask excluding this (home) station's own bit-combination.
+
+        With inexact masks the home station's bits may overspecify; we keep
+        the full mask (minus nothing) and simply include home in multicasts,
+        so this returns the mask of all possibly-sharing stations, or 0 when
+        it selects nobody but home."""
+        mask = self.directory.sharer_mask(entry)
+        if mask == 0:
+            return 0
+        stations = self.codec.stations(mask)
+        remote = [s for s in stations if s != self.station_id]
+        if not remote:
+            return 0
+        return mask
+
+    # ---- outbound actions ------------------------------------------------
+    def _respond_local(
+        self, pkt: Packet, data: Optional[List], exclusive: bool, delay: int = 0
+    ) -> None:
+        cpu = self.station.cpu_by_global(pkt.requester)
+        ticks = self.config.cmd_bus_ticks + (
+            self.config.line_bus_ticks if data is not None else 0
+        )
+        prefetch = bool(pkt.meta.get("prefetch"))
+
+        self.out_port.send(
+            delay, ticks,
+            lambda start, c=cpu, a=pkt.addr, d=data, e=exclusive: c.complete_fill(
+                a, d, exclusive=e
+            ) if not prefetch else None,
+        )
+
+    def _respond_local_pending(
+        self, addr: int, pending: Pending, data: Optional[List], exclusive: bool,
+        delay: int = 0,
+    ) -> None:
+        cpu = self.station.cpu_by_global(pending.requester)
+        ticks = self.config.cmd_bus_ticks + (
+            self.config.line_bus_ticks if data is not None else 0
+        )
+
+        self.out_port.send(
+            delay, ticks,
+            lambda start, c=cpu, a=addr, d=data, e=exclusive: c.complete_fill(
+                a, d, exclusive=e
+            ),
+        )
+
+    def _send_data(
+        self, pkt: Packet, data: List, exclusive: bool, inv_follows: bool = False,
+        delay: int = 0,
+    ) -> None:
+        resp = Packet(
+            mtype=MsgType.DATA_RESP_EX if exclusive else MsgType.DATA_RESP,
+            addr=pkt.addr,
+            src_station=self.station_id,
+            dest_mask=self.codec.station_mask(pkt.src_station),
+            requester=pkt.requester,
+            data=data,
+            flits=self.config.line_flits,
+            meta={"inv_follows": inv_follows, "prefetch": pkt.meta.get("prefetch", False)},
+        )
+        self._send_packet(resp, has_data=True, delay=delay)
+
+    def _send_intervention(
+        self, pkt: Packet, owner: int, exclusive: bool, false_remote: bool = False
+    ) -> None:
+        entry = self.directory.entry(pkt.addr)
+        txn = entry.pending.extra.get("txn") if entry.pending is not None else None
+        iv = Packet(
+            mtype=MsgType.INTERVENTION_EX if exclusive else MsgType.INTERVENTION,
+            addr=pkt.addr,
+            src_station=self.station_id,
+            dest_mask=self.codec.station_mask(owner),
+            requester=pkt.requester,
+            meta={
+                "home": self.station_id,
+                "req_station": pkt.src_station,
+                "req_local_to_home": bool(pkt.meta.get("local")),
+                "false_remote": false_remote,
+                "prefetch": pkt.meta.get("prefetch", False),
+                "txn": txn,
+            },
+        )
+        self._send_packet(iv, has_data=False)
+
+    def _send_invalidate(
+        self, pkt: Packet, entry: DirEntry, remote_mask: int, include_home: bool = True
+    ) -> None:
+        """Ordered multicast invalidation to every station that may share,
+        plus the requester's station and home (the return unlocks us)."""
+        req_station = self.station_id if pkt.meta.get("local") else pkt.src_station
+        mask = remote_mask | self.codec.station_mask(req_station)
+        if include_home:
+            mask |= self.codec.station_mask(self.station_id)
+        inv = Packet(
+            mtype=MsgType.INVALIDATE,
+            addr=pkt.addr,
+            src_station=self.station_id,
+            dest_mask=mask,
+            requester=pkt.requester,
+            ordered=True,
+            meta={"home": self.station_id, "writer_station": req_station},
+        )
+        self.stats.counter("invalidates_sent").incr()
+        self._send_packet(inv, has_data=False)
+
+    def _send_packet(self, pkt: Packet, has_data: bool, delay: int = 0) -> None:
+        ticks = self.config.cmd_bus_ticks + (
+            self.config.line_bus_ticks if has_data else 0
+        )
+        self.out_port.send(
+            delay, ticks, lambda start, p=pkt: self.station.ring_interface.send(p)
+        )
+
+    def _local_intervention(self, addr: int, entry: DirEntry, exclusive: bool) -> None:
+        owner_idx = entry.proc_mask.bit_length() - 1
+        if entry.proc_mask == 0:
+            raise SimulationError(f"LI line {addr:#x} with empty processor mask")
+        cpu = self.station.cpus[owner_idx]
+        self.out_port.send(
+            0, self.config.cmd_bus_ticks,
+            lambda start, c=cpu, a=addr, e=exclusive: c.handle_intervention(
+                a, e, lambda data, a2=a, e2=e: self._local_intervention_done(a2, e2, data)
+            ),
+        )
+
+    def _local_intervention_done(self, addr: int, exclusive: bool, data) -> None:
+        entry = self.directory.entry(addr)
+        pending = entry.pending
+        if pending is None:
+            return
+        if data is None:
+            # crossed with the owner's write-back; it is already in our FIFO
+            pending.kind = "awaiting_wb"
+            return
+        self.write_line(addr, data)
+        self._unlock(entry)
+        if exclusive:
+            if pending.is_local:
+                idx = self._local_index(pending.requester)
+                entry.state = LineState.LI
+                entry.proc_mask = 1 << idx
+                self.directory.set_station(entry, self.station_id)
+                self._respond_local_pending(addr, pending, list(data), exclusive=True)
+            else:
+                entry.state = LineState.GI
+                entry.proc_mask = 0
+                self.directory.set_station(entry, pending.req_station)
+                fake = Packet(
+                    mtype=MsgType.READ_EX, addr=addr,
+                    src_station=pending.req_station, dest_mask=0,
+                    requester=pending.requester,
+                )
+                self._send_data(fake, list(data), exclusive=True, inv_follows=False)
+        else:
+            entry.state = LineState.LV if pending.is_local else LineState.GV
+            if pending.is_local:
+                idx = self._local_index(pending.requester)
+                entry.proc_mask |= 1 << idx
+                self.directory.set_station(entry, self.station_id)
+                self._respond_local_pending(addr, pending, list(data), exclusive=False)
+            else:
+                self.directory.add_station(entry, self.station_id)
+                self.directory.add_station(entry, pending.req_station)
+                fake = Packet(
+                    mtype=MsgType.READ, addr=addr,
+                    src_station=pending.req_station, dest_mask=0,
+                    requester=pending.requester,
+                    meta={"prefetch": pending.extra.get("prefetch", False)},
+                )
+                self._send_data(fake, list(data), exclusive=False)
+
+    def _invalidate_local(self, addr: int, entry: DirEntry, keep: Optional[int]) -> None:
+        """Invalidate local secondary-cache copies over the bus (one
+        broadcast transaction), sparing ``keep`` (the writing processor)."""
+        mask = entry.proc_mask
+        if keep is not None:
+            mask &= ~(1 << self._local_index(keep))
+        if mask == 0:
+            entry.proc_mask = 0 if keep is None else entry.proc_mask
+            return
+        victims = [
+            self.station.cpus[i]
+            for i in range(self.config.cpus_per_station)
+            if mask & (1 << i)
+        ]
+        entry.proc_mask &= ~mask
+        self.out_port.send(
+            0, self.config.cmd_bus_ticks,
+            lambda start, vs=victims, a=addr: [c.invalidate_line(a) for c in vs],
+        )
+
+    # ---- timing helpers ---------------------------------------------------
+    def _dram_read_ticks(self) -> int:
+        from ..sim.engine import ns_to_ticks
+
+        return ns_to_ticks(self.config.dram_read_ns)
+
+    def _dram_write_ticks(self) -> int:
+        from ..sim.engine import ns_to_ticks
+
+        return ns_to_ticks(self.config.dram_write_ns)

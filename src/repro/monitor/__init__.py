@@ -1,0 +1,6 @@
+"""Non-intrusive performance monitoring (paper section 3.3)."""
+
+from .histogram import HistogramTable
+from .monitor import Monitor, TraceMemory
+
+__all__ = ["HistogramTable", "Monitor", "TraceMemory"]

@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate: engine, FIFOs, statistics."""
+
+from .engine import (
+    TICKS_PER_NS,
+    DeadlockError,
+    Engine,
+    SimulationError,
+    ns_to_ticks,
+    ticks_to_ns,
+)
+from .fifo import Fifo, FifoFullError
+from .stats import Accumulator, BusyTracker, Counter, StatGroup
+
+__all__ = [
+    "TICKS_PER_NS",
+    "DeadlockError",
+    "Engine",
+    "SimulationError",
+    "ns_to_ticks",
+    "ticks_to_ns",
+    "Fifo",
+    "FifoFullError",
+    "Accumulator",
+    "BusyTracker",
+    "Counter",
+    "StatGroup",
+]

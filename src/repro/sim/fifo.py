@@ -1,0 +1,105 @@
+"""Bounded FIFOs with occupancy statistics and backpressure signalling.
+
+Every NUMAchine module moves packets through FIFOs (processor external
+agent, memory module, ring interfaces, inter-ring interfaces).  The paper's
+flow control halts an upstream ring when an interface input FIFO nears
+capacity; :class:`Fifo` exposes that via a high-water threshold and
+``on_space`` callbacks so producers can resume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .stats import Accumulator, Counter
+
+
+class FifoFullError(RuntimeError):
+    """Raised on a forced push into a full FIFO (a model bug, not a protocol
+    condition — protocol code must check :meth:`Fifo.full` first)."""
+
+
+class Fifo:
+    """A bounded FIFO of ``(item, enqueue_time)`` entries.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic / statistics label.
+    capacity:
+        Maximum entries; ``None`` means unbounded.
+    high_water:
+        Occupancy at which :attr:`pressured` becomes true (defaults to
+        ``capacity - 2`` as a ring-latency safety margin, mirroring the
+        hardware's early-stop threshold).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: Optional[int] = None,
+        high_water: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.capacity = capacity
+        if high_water is None and capacity is not None:
+            high_water = max(1, capacity - 2)
+        self.high_water = high_water
+        self._items: Deque[tuple[Any, int]] = deque()
+        self._on_space: List[Callable[[], None]] = []
+        self.max_depth = 0
+        self.wait_time = Accumulator(f"{name}.wait")
+        self.pushes = Counter(f"{name}.pushes")
+        self.stalls = Counter(f"{name}.stalls")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def pressured(self) -> bool:
+        """True once occupancy reaches the high-water mark."""
+        return self.high_water is not None and len(self._items) >= self.high_water
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, item: Any, now: int) -> None:
+        if self.full:
+            raise FifoFullError(f"{self.name} overflow (capacity={self.capacity})")
+        self._items.append((item, now))
+        self.pushes.incr()
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+
+    def peek(self) -> Any:
+        return self._items[0][0]
+
+    def pop(self, now: int) -> Any:
+        item, enq = self._items.popleft()
+        self.wait_time.add(now - enq)
+        if self._on_space:
+            waiters, self._on_space = self._on_space, []
+            for cb in waiters:
+                cb()
+        return item
+
+    def when_space(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` after the next pop frees an entry."""
+        self._on_space.append(callback)
+        self.stalls.incr()
+
+    def drain(self) -> List[Any]:
+        """Remove and return all items (no wait-time accounting); test helper."""
+        items = [it for it, _ in self._items]
+        self._items.clear()
+        return items
+
+    def __repr__(self) -> str:
+        return f"Fifo({self.name}: {len(self._items)}/{self.capacity})"

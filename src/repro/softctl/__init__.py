@@ -1,0 +1,5 @@
+"""Hardware/software interaction layer (paper section 3.2)."""
+
+from . import ops
+
+__all__ = ["ops"]

@@ -1,0 +1,18 @@
+"""System assembly: configuration, buses, stations, address map, machine."""
+
+from .address_map import AddressMap, PageAttributes, Region
+from .bus import Bus
+from .config import MachineConfig
+from .machine import Machine, RunResult
+from .station import Station
+
+__all__ = [
+    "AddressMap",
+    "PageAttributes",
+    "Region",
+    "Bus",
+    "MachineConfig",
+    "Machine",
+    "RunResult",
+    "Station",
+]

@@ -1,0 +1,129 @@
+"""Physical address map and page placement (paper §2, §4.3).
+
+The machine has a flat physical address space: each station owns a
+contiguous range (``config.station_mem_bytes``).  The allocator hands out
+page-aligned regions under a placement policy:
+
+* ``round_robin`` — consecutive pages rotate across stations; the paper's
+  (deliberately pessimistic) default for the speedup measurements.
+* ``local:<k>`` / an integer — all pages on one station ("private pages"
+  placed with their processor, the optimisation §4.3 mentions).
+* ``block`` — split the region into one contiguous chunk per station.
+
+Per-page attributes (§3.2 software-managed caching) ride along: caching
+enabled/disabled, hardware coherence on/off, exclusive-only, update-vs-
+invalidate — consulted by the softctl layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+@dataclass
+class PageAttributes:
+    cacheable: bool = True
+    hw_coherent: bool = True
+    exclusive_only: bool = False
+    update_protocol: bool = False
+
+
+@dataclass
+class Region:
+    """One allocation: the list of page base addresses backing it, in
+    region order (virtually contiguous from the workload's viewpoint)."""
+
+    name: str
+    nbytes: int
+    pages: List[int]
+    page_bytes: int
+    attrs: PageAttributes = field(default_factory=PageAttributes)
+
+    def addr(self, offset: int) -> int:
+        """Physical address of a byte offset into the region."""
+        if not 0 <= offset < self.nbytes:
+            raise IndexError(f"{self.name}: offset {offset} out of range")
+        return self.pages[offset // self.page_bytes] + offset % self.page_bytes
+
+
+class AddressMap:
+    """Page allocator over the stations' physical ranges."""
+
+    def __init__(self, config) -> None:
+        self.config = config
+        # Stagger each station's first frame so that equal offsets on
+        # different stations (which alias to the same direct-mapped network
+        # cache slot, since station strides are NC-size multiples) are not
+        # handed out together — mimicking a real OS's scattered page frames.
+        stagger = max(
+            config.page_bytes,
+            (config.nc_size_bytes // max(1, config.num_stations))
+            // config.page_bytes * config.page_bytes,
+        )
+        self._next_page: List[int] = [
+            config.station_base(s) + s * stagger
+            for s in range(config.num_stations)
+        ]
+        self._rr_cursor = 0
+        self.regions: Dict[str, Region] = {}
+        self._anon = 0
+        #: page base -> PageAttributes for pages with non-default attributes
+        self._page_attrs: Dict[int, PageAttributes] = {}
+
+    def _take_page(self, station: int) -> int:
+        cfg = self.config
+        addr = self._next_page[station]
+        limit = cfg.station_base(station) + cfg.station_mem_bytes
+        if addr + cfg.page_bytes > limit:
+            raise MemoryError(f"station {station} out of physical memory")
+        self._next_page[station] = addr + cfg.page_bytes
+        return addr
+
+    def allocate(
+        self,
+        nbytes: int,
+        placement: Union[str, int] = "round_robin",
+        name: Optional[str] = None,
+        attrs: Optional[PageAttributes] = None,
+    ) -> Region:
+        cfg = self.config
+        if name is None:
+            name = f"region{self._anon}"
+            self._anon += 1
+        npages = -(-nbytes // cfg.page_bytes)
+        pages: List[int] = []
+        if isinstance(placement, int):
+            pages = [self._take_page(placement) for _ in range(npages)]
+        elif placement == "round_robin":
+            for _ in range(npages):
+                pages.append(self._take_page(self._rr_cursor))
+                self._rr_cursor = (self._rr_cursor + 1) % cfg.num_stations
+        elif placement.startswith("local:"):
+            station = int(placement.split(":", 1)[1])
+            pages = [self._take_page(station) for _ in range(npages)]
+        elif placement == "block":
+            per = -(-npages // cfg.num_stations)
+            s = 0
+            for i in range(npages):
+                pages.append(self._take_page(s))
+                if (i + 1) % per == 0:
+                    s = min(s + 1, cfg.num_stations - 1)
+        else:
+            raise ValueError(f"unknown placement {placement!r}")
+        region = Region(
+            name=name, nbytes=npages * cfg.page_bytes, pages=pages,
+            page_bytes=cfg.page_bytes, attrs=attrs or PageAttributes(),
+        )
+        self.regions[name] = region
+        if attrs is not None:
+            for page in pages:
+                self._page_attrs[page] = region.attrs
+        return region
+
+    _DEFAULT_ATTRS = PageAttributes()
+
+    def attrs_for(self, addr: int) -> PageAttributes:
+        """Per-page software-managed caching attributes (§3.2)."""
+        page = addr - addr % self.config.page_bytes
+        return self._page_attrs.get(page, self._DEFAULT_ATTRS)

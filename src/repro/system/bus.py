@@ -1,0 +1,111 @@
+"""The station bus (paper §2, Fig. 2).
+
+All modules on a station — processors, the memory module, the network
+cache, and the ring interface — share one bus using the FutureBus
+mechanical/electrical spec with custom control.  The model is an arbitrated
+serial resource: a transaction asks for the bus for a duration (command
+beat, optionally followed by line-data beats); grants are FIFO.
+
+The network cache obviates snooping (§3.1.4), so the bus is purely
+point-to-point-with-broadcast-data: a responding module's single data
+transfer can be picked up by both the requesting processor and the
+memory/NC ("the processor forwards a copy to the requesting processor and
+to the memory module" rides one transaction).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from ..sim.engine import Engine
+from ..sim.stats import BusyTracker, Counter
+
+
+class Bus:
+    """A single arbitrated station bus.
+
+    :meth:`request` queues a transaction of ``duration`` ticks; when the
+    transfer *completes*, ``on_complete(start_tick)`` is invoked.  A fixed
+    arbitration cost is charged per transaction (it does not occupy the data
+    path and so is not counted as busy time when overlapped).
+    """
+
+    def __init__(self, engine: Engine, name: str, arb_ticks: int) -> None:
+        self.engine = engine
+        self.name = name
+        self.arb_ticks = arb_ticks
+        self._queue: Deque[Tuple[int, Callable[[int], None]]] = deque()
+        self._busy = False
+        self.busy = BusyTracker(f"{name}.busy")
+        self.transactions = Counter(f"{name}.transactions")
+
+    def request(self, duration: int, on_complete: Callable[[int], None]) -> None:
+        """Queue a transaction occupying the bus for ``duration`` ticks."""
+        self._queue.append((duration, on_complete))
+        if not self._busy:
+            self._grant()
+
+    def _grant(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        duration, on_complete = self._queue.popleft()
+        start = self.engine.now + self.arb_ticks
+        self.busy.add_busy(duration)
+        self.transactions.incr()
+        self.engine.schedule(self.arb_ticks + duration, self._complete, (start, on_complete))
+
+    def _complete(self, arg) -> None:
+        start, on_complete = arg
+        on_complete(start)
+        self._grant()
+
+    def utilization(self, now: int) -> float:
+        return self.busy.utilization(now)
+
+    def start_window(self, now: int) -> None:
+        self.busy.start_window(now)
+
+
+class OrderedPort:
+    """A module's output FIFO onto the bus (the memory module's "Out FIFO"
+    of Fig. 10).
+
+    Coherence correctness requires that a module's bus actions reach the
+    bus *in issue order* even when some are delayed by DRAM access time —
+    e.g. a data grant being prepared must not be overtaken by a later
+    intervention for the same line.  Actions enter this FIFO when issued
+    and are handed to the bus arbiter in order, each no earlier than its
+    ready time.
+    """
+
+    def __init__(self, engine: Engine, bus: Bus) -> None:
+        self.engine = engine
+        self.bus = bus
+        self._queue: Deque[Tuple[int, int, Callable[[int], None]]] = deque()
+        self._busy = False
+
+    def send(self, delay: int, duration: int, on_complete: Callable[[int], None]) -> None:
+        """Issue a bus transaction of ``duration`` ticks that becomes ready
+        ``delay`` ticks from now; ``on_complete(start)`` fires when the bus
+        transfer finishes."""
+        self._queue.append((self.engine.now + delay, duration, on_complete))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        ready, duration, cb = self._queue.popleft()
+        when = max(ready, self.engine.now)
+        self.engine.schedule_at(when, self._issue, (duration, cb))
+
+    def _issue(self, arg) -> None:
+        duration, cb = arg
+        self.bus.request(duration, cb)
+        # the bus queue itself is FIFO, so the next item may be released as
+        # soon as this one has entered it
+        self._busy = False
+        self._pump()

@@ -1,0 +1,175 @@
+"""Machine configuration (the paper's simulator "parameter file", §4.2).
+
+All timing is given in nanoseconds and converted to integer engine ticks.
+Defaults model the 64-processor prototype: 150 MHz R4400 CPUs, 50 MHz
+station buses and rings, 1 MB secondary caches, >=4 MB network caches, a
+4 stations x 4 rings geometry, 64-byte cache lines.
+
+The prototype also let system software constrain component latencies and
+bandwidths at boot time for experimentation (§3.2); here that is simply
+this dataclass — every knob the benches and ablations turn lives in it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..interconnect.routing import Geometry
+from ..sim.engine import ns_to_ticks
+
+
+@dataclass
+class MachineConfig:
+    # ---- geometry ------------------------------------------------------
+    geometry: Geometry = dataclasses.field(default_factory=lambda: Geometry((4, 4)))
+
+    # ---- clocks --------------------------------------------------------
+    cpu_clock_ns: float = 20 / 3      # 150 MHz R4400
+    bus_cycle_ns: float = 20.0        # 50 MHz station bus
+    ring_slot_ns: float = 20.0        # 50 MHz rings: one packet per slot
+    ring_hop_ns: float = 20.0         # link traversal, node to node
+
+    # ---- line / datapath widths -----------------------------------------
+    line_bytes: int = 64
+    word_bytes: int = 8
+    bus_width_bytes: int = 8          # FutureBus-style 64-bit data path
+    ring_width_bytes: int = 8         # bit-parallel ring, 64-bit
+
+    # ---- caches ----------------------------------------------------------
+    l1_size_bytes: int = 16 * 1024            # R4400 on-chip primary
+    l2_size_bytes: int = 1024 * 1024          # 1 MB secondary cache
+    nc_size_bytes: int = 4 * 1024 * 1024      # >= sum of station L2s
+    l1_hit_cpu_cycles: int = 1
+    l2_hit_cpu_cycles: int = 6
+
+    # ---- fixed latencies (ns) -------------------------------------------
+    l2_miss_detect_ns: float = 140.0  # miss determination + external agent out
+    cpu_fill_ns: float = 110.0        # external agent in + L2/L1 fill + restart
+    bus_arb_ns: float = 20.0          # arbitration overlap per transaction
+    mem_fifo_ns: float = 20.0         # memory module input FIFO
+    dram_read_ns: float = 140.0       # DRAM line read (interleaved banks, page mode)
+    dram_write_ns: float = 120.0      # line write (posted)
+    dir_sram_ns: float = 40.0         # directory lookup+update (overlaps DRAM)
+    nc_tag_ns: float = 40.0           # NC SRAM tag/state check
+    nc_dram_read_ns: float = 200.0    # NC line read (DRAM, slower than SRAM L2)
+    nc_dram_write_ns: float = 140.0
+    pkt_gen_ns: float = 20.0          # ring interface packet generator
+    handler_ns: float = 40.0          # ring interface packet handler
+    iri_switch_ns: float = 20.0       # inter-ring interface FIFO hop
+    seq_point_ns: float = 450.0       # ordering delay at a sequencing point
+
+    # ---- protocol options (ablations) -------------------------------------
+    nc_enabled: bool = True           # network cache present
+    sc_locking: bool = True           # hold data until ordered invalidation
+    optimistic_upgrade: bool = True   # ack-only upgrade answers (§2.3/§4.6)
+    exact_sharers: bool = False       # full station sets instead of OR-masks
+
+    # ---- deadlock / flow control ------------------------------------------
+    nonsink_limit: int = 16           # nonsinkables a station may have in flight
+    ring_in_fifo_capacity: int = 256
+    iri_fifo_capacity: int = 256
+
+    # ---- processor model ---------------------------------------------------
+    cpu_batch: int = 16               # cache hits executed per scheduler event
+    nack_retry_cpu_cycles: int = 24   # backoff before retrying a NACKed request
+    #: multiplier on Compute() cycles.  The benches scale problem sizes far
+    #: below Table 2, which deflates the compute-to-communication ratio; the
+    #: speedup benches raise this to restore the paper's balance (documented
+    #: in EXPERIMENTS.md as the 'computation scaling' substitution).
+    compute_scale: float = 1.0
+
+    # ---- memory map ----------------------------------------------------------
+    page_bytes: int = 4096
+    station_mem_bytes: int = 1 << 27  # 128 MB address range per station
+
+    # ======================================================================
+    # derived quantities (ticks, counts)
+    # ======================================================================
+    @property
+    def cpu_cycle_ticks(self) -> int:
+        return ns_to_ticks(self.cpu_clock_ns)
+
+    @property
+    def bus_cycle_ticks(self) -> int:
+        return ns_to_ticks(self.bus_cycle_ns)
+
+    @property
+    def ring_slot_ticks(self) -> int:
+        return ns_to_ticks(self.ring_slot_ns)
+
+    @property
+    def ring_hop_ticks(self) -> int:
+        return ns_to_ticks(self.ring_hop_ns)
+
+    @property
+    def line_words(self) -> int:
+        return self.line_bytes // self.word_bytes
+
+    @property
+    def line_flits(self) -> int:
+        """Ring slots for a line-carrying message: header + data flits."""
+        return 1 + self.line_bytes // self.ring_width_bytes
+
+    @property
+    def line_bus_ticks(self) -> int:
+        """Bus time for a cache line of data."""
+        return (self.line_bytes // self.bus_width_bytes) * self.bus_cycle_ticks
+
+    @property
+    def cmd_bus_ticks(self) -> int:
+        """Bus time for an address/command beat."""
+        return self.bus_cycle_ticks
+
+    @property
+    def num_stations(self) -> int:
+        return self.geometry.num_stations
+
+    @property
+    def num_cpus(self) -> int:
+        return self.geometry.num_processors
+
+    @property
+    def cpus_per_station(self) -> int:
+        return self.geometry.processors_per_station
+
+    # ---- address helpers --------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        return addr & ~(self.line_bytes - 1)
+
+    def home_station(self, addr: int) -> int:
+        station = addr // self.station_mem_bytes
+        if station >= self.num_stations:
+            raise ValueError(f"address {addr:#x} beyond physical memory")
+        return station
+
+    def station_base(self, station_id: int) -> int:
+        return station_id * self.station_mem_bytes
+
+    # ---- convenience constructors ------------------------------------------
+    @classmethod
+    def prototype(cls) -> "MachineConfig":
+        """The 64-processor 4x4 prototype with full-size caches."""
+        return cls()
+
+    @classmethod
+    def small(cls, stations_per_ring: int = 2, rings: int = 2, cpus: int = 2) -> "MachineConfig":
+        """A scaled-down machine for tests: small caches force capacity and
+        conflict behaviour to show up at tiny working-set sizes."""
+        return cls(
+            geometry=Geometry((stations_per_ring, rings), processors_per_station=cpus),
+            l1_size_bytes=1024,
+            l2_size_bytes=8 * 1024,
+            nc_size_bytes=32 * 1024,
+            station_mem_bytes=1 << 22,
+        )
+
+    def validate(self) -> None:
+        if self.line_bytes % self.word_bytes:
+            raise ValueError("line size must be a multiple of the word size")
+        if self.l2_size_bytes % self.line_bytes or self.nc_size_bytes % self.line_bytes:
+            raise ValueError("cache sizes must be whole numbers of lines")
+        if self.page_bytes % self.line_bytes:
+            raise ValueError("page size must be a multiple of the line size")
+        if self.station_mem_bytes % self.page_bytes:
+            raise ValueError("per-station memory must be whole pages")

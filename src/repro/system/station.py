@@ -1,0 +1,90 @@
+"""One NUMAchine station (paper Fig. 2): four processor modules, a memory
+module, a network cache and a ring interface on a shared bus.
+
+The station also owns the packet *dispatch*: ring packets delivered by the
+local ring interface are routed to the memory module (for lines homed
+here), the network cache (for remote lines), or processor registers
+(barrier writes and interrupts).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cache.network_cache import NetworkCache
+from ..cpu.processor import Processor
+from ..interconnect.packet import MsgType, Packet
+from ..interconnect.routing import RoutingMaskCodec
+from ..memory.memory_module import MemoryModule
+from ..sim.engine import Engine, SimulationError, ns_to_ticks
+from .bus import Bus
+
+
+class Station:
+    def __init__(self, engine: Engine, config, codec: RoutingMaskCodec, station_id: int) -> None:
+        self.engine = engine
+        self.config = config
+        self.codec = codec
+        self.station_id = station_id
+        self.bus = Bus(
+            engine, f"S{station_id}.bus", arb_ticks=ns_to_ticks(config.bus_arb_ns)
+        )
+        self.cpus: List[Processor] = [
+            Processor(engine, config, station_id * config.cpus_per_station + i, self)
+            for i in range(config.cpus_per_station)
+        ]
+        self.memory = MemoryModule(engine, config, self)
+        self.nc = NetworkCache(engine, config, self)
+        from .io import IOModule
+
+        self.io = IOModule(engine, config, self)
+        self.ring_interface = None   # wired by the Machine
+        self._peers = None           # all stations; wired by the Machine
+
+    def peer(self, station_id: int) -> "Station":
+        return self._peers[station_id]
+
+    # ------------------------------------------------------------------
+    def module_for(self, addr: int):
+        """The on-station module responsible for ``addr``: the memory module
+        when this station is its home, else the network cache."""
+        if self.config.home_station(addr) == self.station_id:
+            return self.memory
+        return self.nc
+
+    def cpu_by_global(self, global_cpu: int) -> Processor:
+        idx = global_cpu % self.config.cpus_per_station
+        cpu = self.cpus[idx]
+        if cpu.cpu_id != global_cpu:
+            raise SimulationError(
+                f"cpu {global_cpu} is not on station {self.station_id}"
+            )
+        return cpu
+
+    # ------------------------------------------------------------------
+    def deliver_from_ring(self, pkt: Packet) -> None:
+        """Dispatch a packet that the ring interface moved over the bus."""
+        mtype = pkt.mtype
+        if mtype is MsgType.BARRIER_WRITE:
+            bit = pkt.meta["bit"]
+            sense = pkt.meta["sense"]
+            base = self.station_id * self.config.cpus_per_station
+            for gid in pkt.meta["cpus"]:
+                if base <= gid < base + self.config.cpus_per_station:
+                    self.cpus[gid - base].barrier_write(bit, sense)
+            return
+        if mtype is MsgType.INTERRUPT:
+            proc_mask = pkt.meta.get("proc_mask", (1 << self.config.cpus_per_station) - 1)
+            bits = pkt.meta.get("bits", 1)
+            for i in range(self.config.cpus_per_station):
+                if proc_mask & (1 << i):
+                    self.cpus[i].raise_interrupt(bits)
+            return
+        if mtype is MsgType.UNCACHED_RESP:
+            self.cpu_by_global(pkt.requester).complete_uncached(pkt.addr, pkt.data)
+            return
+        home_here = self.config.home_station(pkt.addr) == self.station_id
+        if home_here:
+            self.memory.handle(pkt)
+        else:
+            self.nc.handle(pkt)

@@ -1,0 +1,31 @@
+"""Workloads: shared-memory programming layer + the SPLASH-2-like suite."""
+
+from .base import (
+    BarrierFactory,
+    SharedArray,
+    SharedMatrix,
+    Workload,
+    WorkloadResult,
+    block_range,
+    fetch_add,
+    spinlock_acquire,
+    spinlock_release,
+)
+from .suite import FIG13_KERNELS, FIG14_APPS, FIG15_APPS, SUITE, make
+
+__all__ = [
+    "BarrierFactory",
+    "SharedArray",
+    "SharedMatrix",
+    "Workload",
+    "WorkloadResult",
+    "block_range",
+    "fetch_add",
+    "spinlock_acquire",
+    "spinlock_release",
+    "FIG13_KERNELS",
+    "FIG14_APPS",
+    "FIG15_APPS",
+    "SUITE",
+    "make",
+]

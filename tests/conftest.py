@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the NUMAchine test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.interconnect.routing import Geometry
+
+
+def small_config(**overrides) -> MachineConfig:
+    """The standard test machine: 2x2 stations, 2 CPUs each (8 CPUs),
+    deliberately tiny caches so capacity/conflict behaviour appears."""
+    cfg = MachineConfig.small()
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+def tiny_config(**overrides) -> MachineConfig:
+    """A 2-station single-ring machine with 1 CPU per station."""
+    cfg = MachineConfig(
+        geometry=Geometry((2,), processors_per_station=1),
+        l1_size_bytes=1024,
+        l2_size_bytes=8 * 1024,
+        nc_size_bytes=32 * 1024,
+        station_mem_bytes=1 << 22,
+    )
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(small_config())
+
+
+@pytest.fixture
+def tiny_machine() -> Machine:
+    return Machine(tiny_config())
+
+
+def run_programs(machine: Machine, programs):
+    """Run and return the result; programs is {cpu_id: generator}."""
+    return machine.run(programs)
+
+
+def single(machine: Machine, cpu: int, *ops):
+    """Run a straight-line list of ops on one cpu; returns read values."""
+    values = []
+
+    def gen():
+        for op in ops:
+            v = yield op
+            values.append(v)
+
+    machine.run({cpu: gen()})
+    return values

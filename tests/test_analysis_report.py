@@ -1,0 +1,58 @@
+"""Tests for the analysis report module."""
+
+from repro import Machine
+from repro.analysis import cpu_latency_summary, format_report, machine_report
+from repro.workloads import make
+
+from conftest import small_config
+
+
+def _run_something():
+    m = Machine(small_config())
+    wl = make("ocean", "test")
+    result_wl = wl.run(m, nprocs=4)
+    return m, result_wl
+
+
+def test_machine_report_keys_present():
+    m, _ = _run_something()
+    rep = machine_report(m)
+    for key in (
+        "nc_hit_rate", "nc_combining_rate", "false_remote_rate",
+        "special_reads", "util_bus", "util_local_ring", "util_central_ring",
+        "delay_send_cycles", "memory_nacks",
+    ):
+        assert key in rep, key
+    assert 0 <= rep["nc_hit_rate"] <= 1
+    assert rep["nc_requests"] > 0
+
+
+def test_format_report_renders_percentages():
+    m, _ = _run_something()
+    text = format_report(machine_report(m))
+    assert "%" in text
+    assert "nc_hit_rate" in text
+    # every line is 'key value'
+    for line in text.splitlines():
+        assert len(line.split()) >= 2
+
+
+def test_cpu_latency_summary_has_read_and_write():
+    m, _ = _run_something()
+    summary = cpu_latency_summary(m)
+    assert "read" in summary and "write" in summary
+    # local reads cost at least the Table-1 floor; remote ones more
+    assert summary["read"] > 300
+    assert summary["write"] > 200
+
+
+def test_report_with_result_includes_parallel_time():
+    m = Machine(small_config())
+    wl = make("ocean", "test")
+    res = wl.run(m, nprocs=2)
+    from repro.system.machine import RunResult
+
+    raw = RunResult(time_ticks=m.engine.now, time_ns=m.engine.now / 3,
+                    events=0, cpu_finish_ns={0: 1000.0})
+    rep = machine_report(m, raw)
+    assert rep["parallel_time_us"] == 1.0

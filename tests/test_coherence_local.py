@@ -1,0 +1,146 @@
+"""Station-level coherence: the paper's local read / local write examples
+(§2.3), with directory-state assertions against Fig. 5."""
+
+from repro import Barrier, Machine, Read, Write
+from repro.core.states import CacheState, LineState
+
+from conftest import small_config
+
+
+def dir_entry(m, addr):
+    la = m.config.line_addr(addr)
+    return m.stations[m.config.home_station(la)].memory.directory.entry(la)
+
+
+def test_untouched_line_is_lv():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    assert dir_entry(m, r.addr(0)).state is LineState.LV
+
+
+def test_local_read_stays_lv_and_sets_proc_mask():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    m.run({0: iter([Read(r.addr(0))])})
+    e = dir_entry(m, r.addr(0))
+    assert e.state is LineState.LV
+    assert e.proc_mask == 0b01
+
+
+def test_local_write_moves_to_li():
+    """Fig. 5: LV --LocalReadEx--> LI, proc mask = writer only."""
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    m.run({1: iter([Write(r.addr(0), 5)])})
+    e = dir_entry(m, r.addr(0))
+    assert e.state is LineState.LI
+    assert e.proc_mask == 0b10
+
+
+def test_local_write_invalidates_local_sharer():
+    """The §2.3 local-write example: other local copies are invalidated,
+    writer keeps the only (dirty) copy."""
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    allc = (0, 1)
+
+    def reader():
+        yield Read(r.addr(0))
+        yield Barrier(0, allc)
+        yield Barrier(1, allc)
+        v = yield Read(r.addr(0))   # must refetch and see the new value
+        assert v == 99, v
+
+    def writer():
+        yield Barrier(0, allc)
+        yield Write(r.addr(0), 99)
+        yield Barrier(1, allc)
+
+    m.run({0: reader(), 1: writer()})
+    e = dir_entry(m, r.addr(0))
+    la = m.config.line_addr(r.addr(0))
+    # reader refetched after the writer's dirty copy was pulled: LV shared
+    assert e.state is LineState.LV
+    assert m.cpus[0].l2.lookup(la).state is CacheState.SHARED
+
+
+def test_local_read_of_dirty_line_forwards_and_cleans():
+    """The §2.3 local-read example: LI --LocalRead--> LV; the owner forwards
+    to both requester and memory."""
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    allc = (0, 1)
+
+    def writer():
+        yield Write(r.addr(0), 123)
+        yield Barrier(0, allc)
+        yield Barrier(1, allc)
+
+    def reader():
+        yield Barrier(0, allc)
+        v = yield Read(r.addr(0))
+        assert v == 123, v
+        yield Barrier(1, allc)
+
+    m.run({0: writer(), 1: reader()})
+    e = dir_entry(m, r.addr(0))
+    assert e.state is LineState.LV
+    assert e.proc_mask == 0b11           # both hold copies now
+    la = m.config.line_addr(r.addr(0))
+    assert m.cpus[0].l2.lookup(la).state is CacheState.SHARED  # downgraded
+    # and the memory's DRAM holds the fresh data
+    assert m.stations[0].memory.read_line(la)[0] == 123
+
+
+def test_local_writeback_returns_line_to_lv():
+    """Fig. 5: LI --LocalWrBack--> LV."""
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4 * cfg.l2_size_bytes, placement="local:0")
+    nlines = cfg.l2_size_bytes // cfg.line_bytes
+
+    def prog():
+        yield Write(r.addr(0), 77)
+        # force the dirty line out of the (direct-mapped) L2
+        for i in range(1, nlines + 1):
+            yield Write(r.addr(i * cfg.line_bytes), i)
+
+    m.run({0: prog()})
+    e = dir_entry(m, r.addr(0))
+    assert e.state is LineState.LV
+    la = m.config.line_addr(r.addr(0))
+    assert m.stations[0].memory.read_line(la)[0] == 77
+
+
+def test_two_writers_serialize_ownership():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    allc = (0, 1)
+
+    def w(cid, value):
+        def gen():
+            yield Write(r.addr(0), value)
+            yield Barrier(0, allc)
+            v = yield Read(r.addr(0))
+            assert v in (10, 20)
+        return gen()
+
+    m.run({0: w(0, 10), 1: w(1, 20)})
+    # exactly one final value; directory coherent
+    final = m.read_word(r.addr(0))
+    assert final in (10, 20)
+
+
+def test_write_to_word_preserves_rest_of_line():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+
+    def prog():
+        yield Write(r.addr(0), 1)
+        yield Write(r.addr(8), 2)
+        yield Write(r.addr(16), 3)
+
+    m.run({0: prog()})
+    assert m.read_word(r.addr(0)) == 1
+    assert m.read_word(r.addr(8)) == 2
+    assert m.read_word(r.addr(16)) == 3

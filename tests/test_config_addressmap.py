@@ -1,0 +1,116 @@
+"""Tests for machine configuration and the address map / page placement."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.interconnect.routing import Geometry
+from repro.system.address_map import AddressMap, PageAttributes
+
+from conftest import small_config
+
+
+def test_prototype_defaults():
+    cfg = MachineConfig.prototype()
+    assert cfg.num_stations == 16
+    assert cfg.num_cpus == 64
+    assert cfg.line_words == 8
+    assert cfg.line_flits == 9            # header + 8 data flits
+    assert cfg.line_bus_ticks == 8 * cfg.bus_cycle_ticks
+    cfg.validate()
+
+
+def test_home_station_by_address_range():
+    cfg = small_config()
+    assert cfg.home_station(0) == 0
+    assert cfg.home_station(cfg.station_mem_bytes) == 1
+    assert cfg.home_station(3 * cfg.station_mem_bytes + 5) == 3
+    with pytest.raises(ValueError):
+        cfg.home_station(cfg.num_stations * cfg.station_mem_bytes)
+
+
+def test_line_addr_alignment():
+    cfg = small_config()
+    assert cfg.line_addr(0) == 0
+    assert cfg.line_addr(63) == 0
+    assert cfg.line_addr(64) == 64
+    assert cfg.line_addr(130) == 128
+
+
+def test_validate_rejects_bad_sizes():
+    cfg = small_config()
+    cfg.line_bytes = 60
+    with pytest.raises(ValueError):
+        cfg.validate()
+
+
+def test_round_robin_placement():
+    cfg = small_config()
+    amap = AddressMap(cfg)
+    region = amap.allocate(4 * cfg.page_bytes, placement="round_robin")
+    homes = [cfg.home_station(p) for p in region.pages]
+    assert homes == [0, 1, 2, 3]
+
+
+def test_local_placement():
+    cfg = small_config()
+    amap = AddressMap(cfg)
+    region = amap.allocate(3 * cfg.page_bytes, placement="local:2")
+    assert all(cfg.home_station(p) == 2 for p in region.pages)
+    region2 = amap.allocate(cfg.page_bytes, placement=1)
+    assert cfg.home_station(region2.pages[0]) == 1
+
+
+def test_block_placement_spreads_chunks():
+    cfg = small_config()
+    amap = AddressMap(cfg)
+    region = amap.allocate(8 * cfg.page_bytes, placement="block")
+    homes = [cfg.home_station(p) for p in region.pages]
+    assert homes == sorted(homes)
+    assert set(homes) == {0, 1, 2, 3}
+
+
+def test_region_addressing_spans_pages():
+    cfg = small_config()
+    amap = AddressMap(cfg)
+    region = amap.allocate(2 * cfg.page_bytes, placement="round_robin")
+    a0 = region.addr(0)
+    a1 = region.addr(cfg.page_bytes)  # first byte of second page
+    assert cfg.home_station(a0) == 0
+    assert cfg.home_station(a1) == 1
+    with pytest.raises(IndexError):
+        region.addr(2 * cfg.page_bytes)
+
+
+def test_memory_exhaustion():
+    cfg = small_config()
+    amap = AddressMap(cfg)
+    with pytest.raises(MemoryError):
+        amap.allocate(cfg.station_mem_bytes + cfg.page_bytes, placement="local:0")
+
+
+def test_page_attributes_attached():
+    cfg = small_config()
+    amap = AddressMap(cfg)
+    attrs = PageAttributes(cacheable=False)
+    region = amap.allocate(cfg.page_bytes, attrs=attrs)
+    assert not region.attrs.cacheable
+    assert amap.regions[region.name] is region
+
+
+def test_unknown_placement_rejected():
+    cfg = small_config()
+    amap = AddressMap(cfg)
+    with pytest.raises(ValueError):
+        amap.allocate(64, placement="diagonal")
+
+
+def test_machine_builds_all_geometries():
+    for levels in [(2,), (4,), (2, 2), (2, 3)]:
+        cfg = MachineConfig(
+            geometry=Geometry(levels, processors_per_station=2),
+            l1_size_bytes=1024, l2_size_bytes=8192, nc_size_bytes=32768,
+            station_mem_bytes=1 << 22,
+        )
+        m = Machine(cfg)
+        assert len(m.stations) == cfg.num_stations
+        assert len(m.cpus) == cfg.num_cpus

@@ -1,0 +1,66 @@
+"""Tests for the two-level directory storage."""
+
+from repro.core.directory import Directory
+from repro.core.states import CacheState, LineState
+from repro.interconnect.routing import Geometry, RoutingMaskCodec
+
+
+def make_dir(exact=False):
+    codec = RoutingMaskCodec(Geometry((4, 4)))
+    return codec, Directory(codec, home_station=0,
+                            default_state=LineState.LV, exact_sharers=exact)
+
+
+def test_default_entry():
+    codec, d = make_dir()
+    e = d.entry(0x1000)
+    assert e.state is LineState.LV
+    assert e.routing_mask == 0
+    assert not e.locked
+    assert d.peek(0x2000) is None
+
+
+def test_add_and_set_station_masks():
+    codec, d = make_dir()
+    e = d.entry(0)
+    d.add_station(e, 1)
+    d.add_station(e, 6)
+    assert d.may_have_copy(e, 1)
+    assert d.may_have_copy(e, 6)
+    # inexactness: 1 = (ring0,st1), 6 = (ring1,st2) -> also selects (ring0,st2)=2
+    assert d.may_have_copy(e, 2)
+    d.set_station(e, 3)
+    assert d.sharer_mask(e) == codec.station_mask(3)
+    assert not d.may_have_copy(e, 1)
+
+
+def test_exact_mode_has_no_overspecification():
+    codec, d = make_dir(exact=True)
+    e = d.entry(0)
+    d.add_station(e, 1)
+    d.add_station(e, 6)
+    assert d.may_have_copy(e, 1)
+    assert d.may_have_copy(e, 6)
+    assert not d.may_have_copy(e, 2)   # exact: no phantom sharer
+    # but the wire mask still covers the true set
+    mask = d.sharer_mask(e)
+    assert codec.selects(mask, 1) and codec.selects(mask, 6)
+
+
+def test_clear_stations():
+    codec, d = make_dir(exact=True)
+    e = d.entry(0)
+    d.add_station(e, 5)
+    d.clear_stations(e)
+    assert d.sharer_mask(e) == 0
+    assert not d.may_have_copy(e, 5)
+
+
+def test_line_state_helpers():
+    assert LineState.LV.is_local and LineState.LI.is_local
+    assert not LineState.GV.is_local
+    assert LineState.LV.is_valid and LineState.GV.is_valid
+    assert not LineState.LI.is_valid and not LineState.GI.is_valid
+    assert CacheState.DIRTY.writable and CacheState.DIRTY.readable
+    assert CacheState.SHARED.readable and not CacheState.SHARED.writable
+    assert not CacheState.INVALID.readable

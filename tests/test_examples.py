@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs cleanly as a subprocess."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(script, *args, timeout=420):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_quickstart_example():
+    r = _run("quickstart.py")
+    assert r.returncode == 0, r.stderr
+    assert "network cache hit rate" in r.stdout
+    assert "utilization" in r.stdout
+
+
+def test_speedup_example_small():
+    r = _run("splash_speedup.py", "ocean", "4")
+    assert r.returncode == 0, r.stderr
+    assert "speedup" in r.stdout
+    assert "P" in r.stdout
+
+
+def test_software_coherence_example():
+    r = _run("software_coherence.py")
+    assert r.returncode == 0, r.stderr
+    for marker in ("eureka", "block copy", "zeroing", "interrupt"):
+        assert marker in r.stdout, r.stdout
+
+
+def test_monitoring_example():
+    r = _run("monitoring.py")
+    assert r.returncode == 0, r.stderr
+    assert "coherence histogram" in r.stdout
+    assert "phase" in r.stdout

@@ -1,0 +1,75 @@
+"""Tests for the bounded FIFO with backpressure."""
+
+import pytest
+
+from repro.sim.fifo import Fifo, FifoFullError
+
+
+def test_fifo_order():
+    f = Fifo("t", capacity=4)
+    for i in range(3):
+        f.push(i, now=i)
+    assert [f.pop(now=10) for _ in range(3)] == [0, 1, 2]
+
+
+def test_capacity_and_overflow():
+    f = Fifo("t", capacity=2)
+    f.push("a", 0)
+    f.push("b", 0)
+    assert f.full
+    with pytest.raises(FifoFullError):
+        f.push("c", 0)
+
+
+def test_high_water_default():
+    f = Fifo("t", capacity=10)
+    assert f.high_water == 8
+    for i in range(7):
+        f.push(i, 0)
+    assert not f.pressured
+    f.push(7, 0)
+    assert f.pressured
+
+
+def test_wait_time_accounting():
+    f = Fifo("t")
+    f.push("x", now=100)
+    f.pop(now=160)
+    assert f.wait_time.count == 1
+    assert f.wait_time.mean == 60
+
+
+def test_max_depth_tracked():
+    f = Fifo("t")
+    for i in range(5):
+        f.push(i, 0)
+    f.pop(0)
+    f.push(9, 0)
+    assert f.max_depth == 5
+
+
+def test_when_space_callback_fires_after_pop():
+    f = Fifo("t", capacity=1)
+    f.push("a", 0)
+    fired = []
+    f.when_space(lambda: fired.append(True))
+    assert not fired
+    f.pop(1)
+    assert fired == [True]
+    assert f.stalls.value == 1
+
+
+def test_unbounded_fifo_never_full():
+    f = Fifo("t", capacity=None)
+    for i in range(1000):
+        f.push(i, 0)
+    assert not f.full
+    assert not f.pressured
+
+
+def test_drain():
+    f = Fifo("t")
+    for i in range(4):
+        f.push(i, 0)
+    assert f.drain() == [0, 1, 2, 3]
+    assert f.empty

@@ -1,0 +1,131 @@
+"""Machine-level metrics (utilizations, hit rates, delays) and the Table 1
+contention-free latency reproduction."""
+
+import pytest
+
+from repro import Barrier, Machine, Read, Write
+from repro.analysis.latency import (
+    PAPER_TABLE1,
+    SCENARIOS,
+    analytic_estimate,
+    measure_scenario,
+    measure_table1,
+    render_table1,
+)
+from repro.system.config import MachineConfig
+
+from conftest import small_config
+
+
+def test_utilizations_reported_for_all_paths():
+    m = Machine(small_config())
+    r = m.allocate(8192)
+    n = m.config.num_cpus
+
+    def prog(cid):
+        for i in range(16):
+            yield Read(r.addr(((cid * 16 + i) % 128) * 8))
+
+    m.run({c: prog(c) for c in range(n)})
+    util = m.utilizations()
+    assert set(util) == {"bus", "local_ring", "central_ring"}
+    assert all(0 <= v <= 1 for v in util.values())
+    assert util["bus"] > 0
+    assert util["central_ring"] > 0
+
+
+def test_ring_interface_delays_reported():
+    m = Machine(small_config())
+    r = m.allocate(8192)
+    n = m.config.num_cpus
+
+    def prog(cid):
+        for i in range(16):
+            yield Read(r.addr(((cid * 16 + i) % 128) * 8))
+
+    m.run({c: prog(c) for c in range(n)})
+    delays = m.ring_interface_delays()
+    for key in ("send", "down_sinkable", "down_nonsinkable", "iri_up", "iri_down"):
+        assert key in delays
+        assert delays[key] >= 0
+
+
+def test_hit_rate_metric_consistency():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:1")
+    allc = (0, 1)
+
+    def a():
+        yield Read(r.addr(0))
+        yield Barrier(0, allc)
+
+    def b():
+        yield Barrier(0, allc)
+        yield Read(r.addr(0))
+
+    m.run({0: a(), 1: b()})
+    hit = m.nc_hit_rate()
+    assert hit["total"] == pytest.approx(0.5)
+    assert hit["migration"] + hit["caching"] == pytest.approx(hit["total"])
+
+
+def test_parallel_time_is_max_finish():
+    from repro import Compute
+
+    m = Machine(small_config())
+
+    def fast():
+        yield Compute(10)
+
+    def slow():
+        yield Compute(10000)
+
+    res = m.run({0: fast(), 1: slow()})
+    assert m.parallel_time_ns(res) == pytest.approx(
+        max(res.cpu_finish_ns.values())
+    )
+    assert res.cpu_finish_ns[1] > res.cpu_finish_ns[0]
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: f"{s[0]}-{s[1]}")
+def test_table1_within_15_percent_of_paper(scenario):
+    paper_ns, _cycles = PAPER_TABLE1[scenario]
+    sim = measure_scenario(*scenario)
+    assert sim == pytest.approx(paper_ns, rel=0.15), (
+        f"{scenario}: sim {sim:.0f}ns vs paper {paper_ns}ns"
+    )
+
+
+def test_table1_orderings_hold():
+    """The qualitative structure: upgrade < read <= intervention within each
+    locality, and local < same-ring < different-ring for each kind."""
+    measured = measure_table1()
+    for loc in ("local", "remote_same_ring", "remote_diff_ring"):
+        assert measured[(loc, "upgrade")] < measured[(loc, "read")]
+        assert measured[(loc, "read")] <= measured[(loc, "intervention")] * 1.05
+    for kind in ("read", "upgrade", "intervention"):
+        assert (
+            measured[("local", kind)]
+            < measured[("remote_same_ring", kind)]
+            < measured[("remote_diff_ring", kind)]
+        )
+
+
+def test_table1_render_mentions_all_scenarios():
+    measured = measure_table1()
+    text = render_table1(measured, MachineConfig.prototype())
+    for loc, kind in SCENARIOS:
+        assert f"{loc}/{kind}" in text
+
+
+def test_analytic_estimate_same_ballpark():
+    """The pipeline-sum estimate agrees with simulation within 40% (it
+    ignores queueing and overlap, so it is only a calibration aid)."""
+    cfg = MachineConfig.prototype()
+    for scenario in SCENARIOS:
+        est = analytic_estimate(cfg, *scenario)
+        sim = measure_scenario(*scenario, config=MachineConfig.prototype())
+        assert est == pytest.approx(sim, rel=0.4), (scenario, est, sim)

@@ -1,0 +1,220 @@
+"""Network cache behaviour: the four effects of §3.1.4 (migration, caching,
+combining, coherence localization), plus ejection rules and bypass mode."""
+
+from repro import Barrier, Machine, Read, Write
+from repro.core.states import LineState
+
+from conftest import small_config
+
+
+def cpus_of(m, station):
+    per = m.config.cpus_per_station
+    return list(range(station * per, (station + 1) * per))
+
+
+def test_migration_effect():
+    """One processor's miss brings the line in; its station sibling hits."""
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:1")
+    p0, p1 = cpus_of(m, 0)
+    allc = (p0, p1)
+
+    def first():
+        yield Read(r.addr(0))
+        yield Barrier(0, allc)
+
+    def second():
+        yield Barrier(0, allc)
+        yield Read(r.addr(0))
+
+    m.run({p0: first(), p1: second()})
+    s = m.nc_stats()
+    assert s["misses"] == 1
+    assert s["hits"] == 1
+    assert s["migration_hits"] == 1
+    assert s.get("caching_hits", 0) == 0
+
+
+def test_caching_effect_via_writeback():
+    """A dirty line written back to the NC and re-read by the same
+    processor counts as a caching hit (fig 6 LocalWrBack -> LV)."""
+    cfg = small_config(l2_size_bytes=8 * 1024)
+    m = Machine(cfg)
+    r = m.allocate(4 * cfg.l2_size_bytes, placement="local:1")
+    p0 = cpus_of(m, 0)[0]
+    nlines = cfg.l2_size_bytes // cfg.line_bytes
+
+    def prog():
+        yield Write(r.addr(0), 42)
+        # evict it from L2 (direct-mapped conflict) -> write-back into NC
+        yield Write(r.addr(nlines * cfg.line_bytes), 1)
+        # re-read: must hit the NC (caching effect), not go remote
+        v = yield Read(r.addr(0))
+        assert v == 42
+
+    m.run({p0: prog()})
+    s = m.nc_stats()
+    assert s.get("caching_hits", 0) >= 1
+    assert s.get("wb_forwarded", 0) == 0       # data stayed in the NC
+
+
+def test_combining_effect():
+    """Concurrent requests for one in-flight line are NACKed and counted
+    as combined; their retries are satisfied locally."""
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:1")
+    p0, p1 = cpus_of(m, 0)
+
+    def reader():
+        yield Read(r.addr(0))
+
+    m.run({p0: reader(), p1: reader()})
+    s = m.nc_stats()
+    assert s["misses"] == 1                     # one network fetch
+    assert s["hits"] == 1                       # the other satisfied locally
+    assert s.get("combined_requests", 0) >= 1
+    assert m.nc_combining_rate() > 0
+
+
+def test_coherence_localization_write_after_station_read():
+    """LV write grant happens entirely within the station: no new request
+    reaches the home memory."""
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4096, placement="local:1")
+    p0, p1 = cpus_of(m, 0)
+    allc = (p0, p1)
+
+    def owner():
+        yield Write(r.addr(0), 5)     # station 0 takes exclusive ownership
+        yield Barrier(0, allc)
+        yield Barrier(1, allc)
+        # localized again: the NC (LI) intervenes locally for the new read
+        v = yield Read(r.addr(0))
+        assert v == 6, v
+
+    def sibling():
+        yield Barrier(0, allc)
+        v = yield Read(r.addr(0))     # NC local intervention (hit)
+        assert v == 5, v
+        yield Write(r.addr(0), 6)     # NC LV -> local exclusivity grant
+        yield Barrier(1, allc)
+
+    m.run({p0: owner(), p1: sibling()})
+    home_mem = m.stations[1].memory
+    # after the initial fetch, everything stayed on station 0
+    la = m.config.line_addr(r.addr(0))
+    e = home_mem.directory.entry(la)
+    assert e.state is LineState.GI
+    assert home_mem._owner_station(e) == 0
+    # exactly one miss went remote; the rest were local hits
+    s = m.nc_stats()
+    assert s["misses"] == 1
+    assert s["hits"] >= 2
+
+
+def test_gv_ejection_is_silent_but_invalidates_sharers():
+    cfg = small_config(l2_size_bytes=64 * 1024, nc_size_bytes=32 * 1024)
+    m = Machine(cfg)
+    nc_slots = cfg.nc_size_bytes // cfg.line_bytes
+    base = m.allocate(cfg.line_bytes * (nc_slots + 1), placement="local:1")
+    a, b = base.addr(0), base.addr(nc_slots * cfg.line_bytes)
+    p0 = cpus_of(m, 0)[0]
+
+    def prog():
+        yield Read(a)      # NC GV
+        yield Read(b)      # conflicts: ejects a (clean: no writeback)
+        v = yield Read(a)  # must refetch remotely
+        assert v == 0
+
+    m.run({p0: prog()})
+    s = m.nc_stats()
+    assert s["ejections"] >= 1
+    assert s.get("wb_forwarded", 0) == 0
+    assert s["misses"] >= 2    # a (twice) + b... at least the refetch
+
+
+def test_lv_ejection_writes_back_home():
+    cfg = small_config(l2_size_bytes=64 * 1024, nc_size_bytes=32 * 1024)
+    m = Machine(cfg)
+    nc_slots = cfg.nc_size_bytes // cfg.line_bytes
+    base = m.allocate(cfg.line_bytes * (nc_slots + 1), placement="local:1")
+    a, b = base.addr(0), base.addr(nc_slots * cfg.line_bytes)
+    p0, p1 = cpus_of(m, 0)
+    allc = (p0, p1)
+
+    def writer():
+        yield Write(a, 7)             # station 0 owner; NC LI
+        yield Barrier(0, allc)
+        yield Barrier(1, allc)
+
+    def sibling():
+        yield Barrier(0, allc)
+        v = yield Read(a)             # local intervention: NC LV with data
+        assert v == 7
+        yield Read(b)                 # eject the LV line -> writeback home
+        yield Barrier(1, allc)
+
+    m.run({p0: writer(), p1: sibling()})
+    s = m.nc_stats()
+    assert s.get("wb_forwarded", 0) >= 1
+    la = m.config.line_addr(a)
+    assert m.stations[1].memory.read_line(la)[0] == 7
+    e = m.stations[1].memory.directory.entry(la)
+    assert e.state is LineState.GV     # fig 5: GI --RemWrBack--> GV
+
+
+def test_nc_bypass_mode_is_correct_but_slower():
+    """nc_enabled=False: every remote access goes home; values identical."""
+    times = {}
+    for enabled in (True, False):
+        cfg = small_config(nc_enabled=enabled)
+        m = Machine(cfg)
+        r = m.allocate(4096, placement="local:1")
+        p0, p1 = cpus_of(m, 0)
+        allc = (p0, p1)
+
+        def first():
+            for i in range(8):
+                yield Write(r.addr(i * 8), i + 1)
+            yield Barrier(0, allc)
+
+        def second():
+            yield Barrier(0, allc)
+            total = 0
+            for i in range(8):
+                v = yield Read(r.addr(i * 8))
+                total += v
+            assert total == sum(range(1, 9)), total
+            # re-read: with the NC this is station-local; without it the
+            # lines are in L2 anyway - so read a second line set too
+            v = yield Read(r.addr(0))
+            assert v == 1
+
+        res = m.run({p0: first(), p1: second()})
+        times[enabled] = m.parallel_time_ns(res)
+        if enabled:
+            assert m.nc_stats().get("hits", 0) > 0
+        else:
+            assert m.nc_stats().get("hits", 0) == 0
+    # reading the sibling's freshly written data through the NC is faster
+    assert times[True] <= times[False]
+
+
+def test_prefetch_fills_nc_without_waking_cpu():
+    from repro import SoftOp
+
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4096, placement="local:1")
+    p0 = cpus_of(m, 0)[0]
+
+    def prog():
+        yield SoftOp("prefetch_nc", {"addr": r.addr(0)})
+        yield from ()  # nothing else: prefetch is asynchronous
+
+    m.run({p0: prog()})
+    line = m.stations[0].nc.array.probe(m.config.line_addr(r.addr(0)))
+    assert line is not None
+    assert line.state is LineState.GV
+    assert m.nc_stats().get("prefetch_fills", 0) == 1

@@ -1,0 +1,171 @@
+"""Tests for the processor model: cache fast paths, miss classification,
+write-backs, barrier registers, interrupts."""
+
+from repro import AtomicRMW, Barrier, Compute, Machine, Read, Write
+from repro.core.states import CacheState
+
+from conftest import single, small_config, tiny_config
+
+
+def test_read_after_write_hits_cache():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    cpu = m.cpus[0]
+    vals = single(m, 0, Write(r.addr(0), 42), Read(r.addr(0)), Read(r.addr(8)))
+    assert vals[1] == 42
+    assert vals[2] == 0                 # untouched word in the same line
+    # one write miss, then pure hits
+    assert cpu.stats.counter("write_misses").value == 1
+    assert cpu.stats.counter("read_misses").value == 0
+    assert cpu.stats.counter("reads").value == 2
+
+
+def test_l1_mirrors_l2_state():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    cpu = m.cpus[0]
+    single(m, 0, Write(r.addr(0), 1))
+    la = m.config.line_addr(r.addr(0))
+    assert cpu.l2.lookup(la).state is CacheState.DIRTY
+    l1 = cpu.l1.lookup(la)
+    assert l1 is not None and l1.state is CacheState.DIRTY
+    cpu.invalidate_line(la)
+    assert cpu.l1.lookup(la) is None and cpu.l2.lookup(la) is None
+
+
+def test_read_then_write_uses_upgrade():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+    single(m, 0, Read(r.addr(0)), Write(r.addr(0), 7))
+    # the memory must not have sent data twice: state is LI with one owner
+    la = m.config.line_addr(r.addr(0))
+    entry = m.stations[0].memory.directory.entry(la)
+    assert entry.state.value == "LI"
+    assert m.read_word(r.addr(0)) == 7
+
+
+def test_dirty_eviction_writes_back():
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4 * cfg.l2_size_bytes, placement="local:0")
+    cpu = m.cpus[0]
+    nlines = cfg.l2_size_bytes // cfg.line_bytes
+
+    def prog():
+        # dirty more lines than fit in L2 -> forced write-backs
+        for i in range(nlines + 8):
+            yield Write(r.addr(i * cfg.line_bytes), i)
+        # the evicted earliest lines must still read back correctly
+        for i in range(8):
+            v = yield Read(r.addr(i * cfg.line_bytes))
+            assert v == i, (i, v)
+
+    m.run({0: prog()})
+    assert cpu.stats.counter("writebacks").value >= 8
+
+
+def test_compute_costs_time():
+    m = Machine(small_config())
+    res1 = m.run({0: iter([Compute(10)])})
+
+    def big():
+        yield Compute(10000)
+
+    m2 = Machine(small_config())
+    res2 = m2.run({0: big()})
+    assert m2.parallel_time_ns(res2) > m.parallel_time_ns(res1)
+
+
+def test_rmw_atomicity_under_contention():
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(64, placement="local:1")
+    n = cfg.num_cpus
+
+    def inc():
+        for _ in range(10):
+            yield AtomicRMW(r.addr(0), lambda v: v + 1)
+
+    m.run({c: inc() for c in range(n)})
+    assert m.read_word(r.addr(0)) == 10 * n
+
+
+def test_barrier_synchronizes_all():
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(8 * cfg.num_cpus, placement="local:0")
+    order = []
+
+    def prog(cid):
+        yield Write(r.addr(cid * 8), 1)
+        yield Barrier(0, tuple(range(cfg.num_cpus)))
+        total = 0
+        for i in range(cfg.num_cpus):
+            v = yield Read(r.addr(i * 8))
+            total += v
+        order.append((cid, total))
+
+    m.run({c: prog(c) for c in range(cfg.num_cpus)})
+    # after the barrier every cpu must observe every flag
+    assert all(total == cfg.num_cpus for _, total in order)
+
+
+def test_consecutive_barriers_sense_alternation():
+    cfg = small_config()
+    m = Machine(cfg)
+    allc = tuple(range(cfg.num_cpus))
+
+    def prog(cid):
+        for b in range(6):
+            yield Barrier(b, allc)
+            yield Compute(cid * 3 + 1)   # skew arrival times
+
+    m.run({c: prog(c) for c in range(cfg.num_cpus)})
+    for cpu in m.cpus:
+        assert cpu.barrier_regs == [0, 0]  # all consumed
+
+
+def test_interrupt_register_or_and_clear():
+    m = Machine(small_config())
+    cpu = m.cpus[0]
+    cpu.raise_interrupt(0b01)
+    cpu.raise_interrupt(0b10)
+    assert cpu.interrupt_reg == 0b11
+    assert cpu.read_interrupt_reg() == 0b11
+    assert cpu.interrupt_reg == 0
+
+
+def test_phase_register_tags_requests():
+    from repro import Phase
+    from repro.monitor import Monitor
+
+    m = Machine(small_config())
+    mon = Monitor()
+    m.attach_monitor(mon)
+    r = m.allocate(4096, placement="local:0")
+
+    def prog():
+        yield Phase(9)
+        yield Write(r.addr(0), 1)
+
+    m.run({0: prog()})
+    assert mon.phase_table.total(col=9) >= 1
+
+
+def test_batching_does_not_change_results():
+    """cpu_batch is a speed/accuracy knob; final values must be identical."""
+    outcomes = []
+    for batch in (1, 4, 64):
+        cfg = small_config(cpu_batch=batch)
+        m = Machine(cfg)
+        r = m.allocate(512 * 8)
+        n = cfg.num_cpus
+
+        def prog(cid):
+            for i in range(cid, 256, n):
+                yield Write(r.addr(i * 8), cid * 1000 + i)
+            yield Barrier(0, tuple(range(n)))
+
+        m.run({c: prog(c) for c in range(n)})
+        outcomes.append([m.read_word(r.addr(i * 8)) for i in range(256)])
+    assert outcomes[0] == outcomes[1] == outcomes[2]

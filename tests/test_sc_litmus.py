@@ -1,0 +1,162 @@
+"""Sequential-consistency litmus tests (paper §2.3: the protocol 'enables an
+efficient implementation of sequential consistency').
+
+Run with ``cpu_batch=1`` so the processor model introduces no batching skew,
+at many relative timing offsets to explore interleavings.  The blocking
+in-order processor plus the ordered-invalidation protocol must make every
+non-SC outcome unobservable.
+"""
+
+import pytest
+
+from repro import Barrier, Compute, Machine, Read, Write
+
+from conftest import small_config
+
+
+def _run_pair(cfg, prog_a, prog_b, cpu_a, cpu_b):
+    m = Machine(cfg)
+    m.run({cpu_a: prog_a(m), cpu_b: prog_b(m)})
+    return m
+
+
+@pytest.mark.parametrize("offset", [0, 3, 7, 13, 29, 61, 97])
+@pytest.mark.parametrize("same_station", [True, False])
+def test_message_passing(offset, same_station):
+    """MP: P0: x=1; flag=1.   P1: while flag==0; assert x==1.
+    Under SC the consumer can never see flag==1 but x==0."""
+    cfg = small_config(cpu_batch=1)
+    m = Machine(cfg)
+    data = m.allocate(4096, placement="local:1")
+    flag = m.allocate(4096, placement="local:2")
+    consumer_cpu = 1 if same_station else 6
+
+    def producer():
+        yield Compute(offset)
+        yield Write(data.addr(0), 1)
+        yield Write(flag.addr(0), 1)
+
+    def consumer():
+        while True:
+            f = yield Read(flag.addr(0))
+            if f:
+                break
+        x = yield Read(data.addr(0))
+        assert x == 1, f"SC violation: flag set but data stale (offset={offset})"
+
+    m.run({0: producer(), consumer_cpu: consumer()})
+
+
+@pytest.mark.parametrize("offset", [0, 5, 17, 41, 83])
+def test_store_buffering_forbidden_outcome(offset):
+    """SB: P0: x=1; r0=y.   P1: y=1; r1=x.  SC forbids r0==0 and r1==0."""
+    cfg = small_config(cpu_batch=1)
+    m = Machine(cfg)
+    x = m.allocate(4096, placement="local:0")
+    y = m.allocate(4096, placement="local:3")
+    results = {}
+
+    def p0():
+        yield Write(x.addr(0), 1)
+        r0 = yield Read(y.addr(0))
+        results["r0"] = r0
+
+    def p1():
+        yield Compute(offset)
+        yield Write(y.addr(0), 1)
+        r1 = yield Read(x.addr(0))
+        results["r1"] = r1
+
+    m.run({0: p0(), 7: p1()})
+    assert not (results["r0"] == 0 and results["r1"] == 0), (
+        f"SC violation (store buffering) at offset={offset}: {results}"
+    )
+
+
+@pytest.mark.parametrize("offset", [0, 11, 31, 71])
+def test_iriw_no_disagreement_on_write_order(offset):
+    """IRIW: two writers to x and y; two readers each read both in opposite
+    orders.  Under SC the readers cannot disagree about the write order:
+    (r1,r2)=(1,0) and (r3,r4)=(1,0) together are forbidden."""
+    cfg = small_config(cpu_batch=1)
+    m = Machine(cfg)
+    x = m.allocate(4096, placement="local:1")
+    y = m.allocate(4096, placement="local:2")
+    res = {}
+
+    def wx():
+        yield Compute(offset)
+        yield Write(x.addr(0), 1)
+
+    def wy():
+        yield Write(y.addr(0), 1)
+
+    def r_xy():
+        a = yield Read(x.addr(0))
+        b = yield Read(y.addr(0))
+        res["r1"], res["r2"] = a, b
+
+    def r_yx():
+        a = yield Read(y.addr(0))
+        b = yield Read(x.addr(0))
+        res["r3"], res["r4"] = a, b
+
+    m.run({0: wx(), 2: wy(), 4: r_xy(), 6: r_yx()})
+    forbidden = (
+        res["r1"] == 1 and res["r2"] == 0 and res["r3"] == 1 and res["r4"] == 0
+    )
+    assert not forbidden, f"IRIW SC violation at offset={offset}: {res}"
+
+
+@pytest.mark.parametrize("sc_locking", [True, False])
+def test_mp_with_and_without_sc_locking(sc_locking):
+    """The paper compared both; this reproduction keeps MP correct either
+    way for the blocking-processor model (the lock protects pipelined
+    writes, which the R4400 does not issue)."""
+    cfg = small_config(cpu_batch=1, sc_locking=sc_locking)
+    m = Machine(cfg)
+    data = m.allocate(4096, placement="local:3")
+    flag = m.allocate(4096, placement="local:1")
+
+    def producer():
+        yield Write(data.addr(0), 77)
+        yield Write(flag.addr(0), 1)
+
+    def consumer():
+        while True:
+            f = yield Read(flag.addr(0))
+            if f:
+                break
+        x = yield Read(data.addr(0))
+        assert x == 77
+
+    m.run({0: producer(), 5: consumer()})
+
+
+def test_mp_transitive_through_third_party():
+    """WRC (write-to-read causality): P0 writes x; P1 reads x then writes y;
+    P2 reads y then must see x."""
+    cfg = small_config(cpu_batch=1)
+    m = Machine(cfg)
+    x = m.allocate(4096, placement="local:0")
+    y = m.allocate(4096, placement="local:2")
+
+    def p0():
+        yield Write(x.addr(0), 1)
+
+    def p1():
+        while True:
+            v = yield Read(x.addr(0))
+            if v:
+                break
+        yield Write(y.addr(0), 1)
+
+    def p2():
+        while True:
+            v = yield Read(y.addr(0))
+            if v:
+                break
+        v = yield Read(x.addr(0))
+        assert v == 1, "WRC violation: causality chain broken"
+
+    m.run({1: p0(), 3: p1(), 6: p2()})

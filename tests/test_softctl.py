@@ -1,0 +1,235 @@
+"""Hardware/software interaction tests (paper §3.2)."""
+
+from repro import Barrier, Machine, Read, SoftOp, Write
+from repro.core.states import CacheState, LineState
+
+from conftest import small_config
+
+
+def cpus_of(m, station):
+    per = m.config.cpus_per_station
+    return list(range(station * per, (station + 1) * per))
+
+
+def test_software_writeback_pushes_data_and_keeps_shared_copy():
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4096, placement="local:1")
+    p0 = cpus_of(m, 0)[0]
+
+    def prog():
+        yield Write(r.addr(0), 31)
+        yield SoftOp("writeback", {"addr": r.addr(0)})
+        v = yield Read(r.addr(0))       # still a (shared) hit
+        assert v == 31
+
+    m.run({p0: prog()})
+    la = m.config.line_addr(r.addr(0))
+    assert m.cpus[p0].l2.lookup(la).state is CacheState.SHARED
+    # the data reached the NC (written back locally, fig 6 LocalWrBack)
+    line = m.stations[0].nc.array.probe(la)
+    assert line is not None and line.state is LineState.LV
+    assert line.data[0] == 31
+
+
+def test_invalidate_self():
+    m = Machine(small_config())
+    r = m.allocate(4096, placement="local:0")
+
+    def prog():
+        yield Read(r.addr(0))
+        yield SoftOp("invalidate_self", {"addr": r.addr(0)})
+
+    m.run({0: prog()})
+    la = m.config.line_addr(r.addr(0))
+    assert m.cpus[0].l2.lookup(la) is None
+
+
+def test_kill_obtains_clean_exclusive_at_memory():
+    """§3.2: 'invalidate shared copies ... kill dirty copies, and obtain (at
+    memory) a clean exclusive copy'."""
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4096, placement="local:0")
+    remote = cpus_of(m, 1)[0]
+    killer = cpus_of(m, 0)[0]
+    allc = (remote, killer)
+
+    def sharer():
+        yield Read(r.addr(0))
+        yield Barrier(0, allc)
+        yield Barrier(1, allc)
+
+    def kill():
+        yield Barrier(0, allc)
+        yield SoftOp("kill", {"addr": r.addr(0)})
+        yield Barrier(1, allc)
+
+    m.run({remote: sharer(), killer: kill()})
+    la = m.config.line_addr(r.addr(0))
+    e = m.stations[0].memory.directory.entry(la)
+    assert e.state is LineState.LV
+    assert e.proc_mask == 0
+    # the remote sharer's copies are gone
+    assert m.cpus[remote].l2.lookup(la) is None
+
+
+def test_block_op_kill_range_interrupts_initiator():
+    cfg = small_config()
+    m = Machine(cfg)
+    nlines = 8
+    r = m.allocate(nlines * cfg.line_bytes, placement="local:1")
+    p0 = cpus_of(m, 0)[0]
+
+    def prog():
+        for i in range(nlines):
+            yield Read(r.addr(i * cfg.line_bytes))
+        yield SoftOp("block_op", {
+            "base": r.addr(0), "nlines": nlines, "op": "kill",
+        })
+
+    m.run({p0: prog()})
+    la = m.config.line_addr(r.addr(0))
+    assert m.cpus[p0].l2.lookup(la) is None
+    assert m.memory_stats().get("block_ops", 0) == 1
+    assert m.memory_stats().get("kills", 0) >= nlines
+
+
+def test_block_copy_moves_data_coherently():
+    cfg = small_config()
+    m = Machine(cfg)
+    nlines = 8
+    src = m.allocate(nlines * cfg.line_bytes, placement="local:0")
+    dst = m.allocate(nlines * cfg.line_bytes, placement="local:1")
+
+    def prog():
+        for i in range(nlines):
+            yield Write(src.addr(i * cfg.line_bytes), 500 + i)
+        yield SoftOp("block_copy", {
+            "src": src.addr(0), "dst": dst.addr(0), "nlines": nlines,
+        })
+        for i in range(nlines):
+            v = yield Read(dst.addr(i * cfg.line_bytes))
+            assert v == 500 + i, (i, v)
+
+    m.run({0: prog()})
+    assert m.memory_stats().get("block_copy_completed", 0) == 1
+
+
+def test_zero_page_in_cache():
+    cfg = small_config()
+    m = Machine(cfg)
+    page = m.allocate(cfg.page_bytes, placement="local:0")
+    nlines = cfg.page_bytes // cfg.line_bytes
+
+    def prog():
+        yield Write(page.addr(0), 12345)
+        yield SoftOp("zero_page", {"base": page.addr(0), "nlines": nlines})
+        for i in range(nlines):
+            v = yield Read(page.addr(i * cfg.line_bytes))
+            assert v == 0, (i, v)
+
+    m.run({0: prog()})
+    # the zeroed lines were created dirty in the cache without memory reads
+    la = m.config.line_addr(page.addr(0))
+    assert m.cpus[0].l2.lookup(la).state is CacheState.DIRTY
+
+
+def test_update_shared_multicast():
+    """The eureka sequence: spinners see the new value without a miss storm
+    and the home DRAM holds the updated line."""
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4096, placement="local:1")
+    writer = cpus_of(m, 0)[0]
+    spinner = cpus_of(m, 2)[0]
+    allc = (writer, spinner)
+
+    def w():
+        yield Read(r.addr(0))         # hold a copy
+        yield Barrier(0, allc)
+        result = yield SoftOp("update_shared", {"addr": r.addr(0), "value": 88})
+        assert result == "updated"
+        yield Barrier(1, allc)
+
+    def s():
+        v = yield Read(r.addr(0))
+        assert v == 0
+        yield Barrier(0, allc)
+        while True:
+            v = yield Read(r.addr(0))
+            if v:
+                break
+        assert v == 88
+        yield Barrier(1, allc)
+
+    m.run({writer: w(), spinner: s()})
+    la = m.config.line_addr(r.addr(0))
+    assert m.stations[1].memory.read_line(la)[0] == 88
+    assert m.memory_stats().get("soft_updates", 0) == 1
+    assert m.memory_stats().get("soft_dir_locks", 0) == 1
+
+
+def test_multicast_interrupt_and_wait():
+    cfg = small_config()
+    m = Machine(cfg)
+    targets = [2, 5]
+
+    def master():
+        yield SoftOp("multicast_interrupt", {"cpus": targets, "bits": 0b1000})
+        yield Barrier(0, tuple([0] + targets))
+
+    def listener():
+        bits = yield SoftOp("wait_interrupt", {})
+        assert bits == 0b1000
+        yield Barrier(0, tuple([0] + targets))
+
+    programs = {0: master()}
+    for t in targets:
+        programs[t] = listener()
+    m.run(programs)
+
+
+def test_dir_lock_read_returns_state():
+    """Coherence bypass: software can atomically lock + read the directory."""
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4096, placement="local:1")
+    p0 = cpus_of(m, 0)[0]
+    seen = {}
+
+    def prog():
+        yield Read(r.addr(0))
+        info = yield SoftOp("update_shared", {"addr": r.addr(0), "value": 3})
+        seen["result"] = info
+
+    m.run({p0: prog()})
+    assert seen["result"] == "updated"
+
+
+def test_multicast_writeback_to_stations():
+    """§3.2: software-supplied routing masks for write-backs place the data
+    directly into a set of network caches."""
+    cfg = small_config()
+    m = Machine(cfg)
+    r = m.allocate(4096, placement="local:1")
+    writer = cpus_of(m, 0)[0]
+    consumer = cpus_of(m, 2)[0]
+    allc = (writer, consumer)
+
+    def w():
+        yield Write(r.addr(0), 64)
+        yield SoftOp("multicast_writeback",
+                     {"addr": r.addr(0), "stations": [2]})
+        yield Barrier(0, allc)
+
+    def c():
+        yield Barrier(0, allc)
+        v = yield Read(r.addr(0))
+        assert v == 64
+
+    m.run({writer: w(), consumer: c()})
+    # the consumer's read was satisfied from its own NC (pre-pushed)
+    s = m.nc_stats()
+    assert s.get("multicast_fills", 0) >= 1
+    assert s.get("hits", 0) >= 1

@@ -1,0 +1,73 @@
+"""Tests for the statistics primitives."""
+
+from repro.sim.stats import Accumulator, BusyTracker, Counter, StatGroup
+
+
+def test_counter():
+    c = Counter("x")
+    c.incr()
+    c.incr(5)
+    assert c.value == 6
+    c.reset()
+    assert c.value == 0
+
+
+def test_accumulator_stats():
+    a = Accumulator("lat")
+    for v in (10, 20, 60):
+        a.add(v)
+    assert a.count == 3
+    assert a.total == 90
+    assert a.mean == 30
+    assert a.min == 10
+    assert a.max == 60
+
+
+def test_accumulator_empty_mean():
+    assert Accumulator("x").mean == 0.0
+
+
+def test_busy_tracker_utilization():
+    b = BusyTracker("bus")
+    b.add_busy(30)
+    assert b.utilization(now=100) == 0.30
+    b.start_window(100)
+    assert b.utilization(now=200) == 0.0
+    b.add_busy(50)
+    assert b.utilization(now=200) == 0.50
+
+
+def test_busy_tracker_clamps_to_one():
+    b = BusyTracker("x")
+    b.add_busy(500)
+    assert b.utilization(now=100) == 1.0
+
+
+def test_stat_group_lazily_creates_and_reuses():
+    g = StatGroup("mod")
+    c1 = g.counter("hits")
+    c1.incr()
+    assert g.counter("hits") is c1
+    assert g.counter("hits").value == 1
+    a = g.accumulator("lat")
+    a.add(5)
+    assert g.accumulator("lat").count == 1
+
+
+def test_stat_group_snapshot():
+    g = StatGroup("mod")
+    g.counter("hits").incr(3)
+    g.accumulator("lat").add(10)
+    snap = g.snapshot()
+    assert snap["hits"] == 3
+    assert snap["lat.mean"] == 10
+    assert snap["lat.count"] == 1
+
+
+def test_stat_group_reset():
+    g = StatGroup("mod")
+    g.counter("hits").incr(3)
+    g.accumulator("lat").add(10)
+    g.reset()
+    assert g.counter("hits").value == 0
+    assert g.accumulator("lat").count == 0

@@ -1,0 +1,126 @@
+"""End-to-end correctness of the SPLASH-2-like kernels: every value flows
+through the simulated coherence protocol and must match a host-side
+reference computation."""
+
+import pytest
+
+from repro import Machine
+from repro.workloads.cholesky import Cholesky, verify_cholesky
+from repro.workloads.fft import FFT, reference_dft
+from repro.workloads.lu import LUContiguous, LUNoncontiguous, reference_lu
+from repro.workloads.radix import RadixSort
+
+from conftest import small_config
+
+
+@pytest.mark.parametrize("cls", [LUContiguous, LUNoncontiguous])
+@pytest.mark.parametrize("nprocs", [1, 4])
+def test_lu_matches_reference(cls, nprocs):
+    m = Machine(small_config())
+    wl = cls(n=16, block=4)
+    wl.run(m, nprocs=nprocs)
+    ref = reference_lu(wl.input)
+    for i in range(wl.n):
+        for j in range(wl.n):
+            got = m.read_word(wl._addr(i, j))
+            assert abs(got - ref[i][j]) < 1e-9, (i, j)
+
+
+def test_lu_matches_numpy():
+    import numpy as np
+    import scipy.linalg
+
+    m = Machine(small_config())
+    wl = LUContiguous(n=16, block=4)
+    wl.run(m, nprocs=4)
+    a = np.array(wl.input)
+    # reconstruct L and U from the packed result and check L @ U == A
+    lu = np.array([
+        [m.read_word(wl._addr(i, j)) for j in range(wl.n)]
+        for i in range(wl.n)
+    ])
+    L = np.tril(lu, -1) + np.eye(wl.n)
+    U = np.triu(lu)
+    assert np.allclose(L @ U, a, atol=1e-8)
+
+
+def test_lu_owner_map_is_balanced():
+    wl = LUContiguous(n=32, block=4)
+    counts = {}
+    for I in range(wl.nb):
+        for J in range(wl.nb):
+            o = wl.owner(I, J, 4)
+            counts[o] = counts.get(o, 0) + 1
+    assert max(counts.values()) - min(counts.values()) <= wl.nb
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 8])
+def test_fft_matches_reference(nprocs):
+    m = Machine(small_config())
+    wl = FFT(n=256)
+    wl.run(m, nprocs=nprocs)
+    got = wl.result(m)
+    ref = reference_dft(wl.default_input())
+    err = max(abs(a - b) for a, b in zip(got, ref))
+    assert err < 1e-9
+
+
+def test_fft_matches_numpy():
+    import numpy as np
+
+    m = Machine(small_config())
+    wl = FFT(n=256)
+    wl.run(m, nprocs=4)
+    got = np.array(wl.result(m))
+    ref = np.fft.fft(np.array(wl.default_input()))
+    assert np.allclose(got, ref, atol=1e-9)
+
+
+def test_fft_rejects_non_square_size():
+    with pytest.raises(ValueError):
+        FFT(n=512)  # not an even power of two
+
+
+@pytest.mark.parametrize("nprocs", [1, 4])
+def test_radix_sorts(nprocs):
+    m = Machine(small_config())
+    wl = RadixSort(n=512, radix=64)
+    wl.run(m, nprocs=nprocs)
+    assert wl.result(m) == sorted(wl.default_input())
+
+
+def test_radix_is_stable_permutation():
+    m = Machine(small_config())
+    wl = RadixSort(n=256, radix=64)
+    wl.run(m, nprocs=4)
+    got = wl.result(m)
+    assert sorted(got) == sorted(wl.default_input())  # a permutation
+    assert got == sorted(got)
+
+
+@pytest.mark.parametrize("nprocs", [1, 4])
+def test_cholesky_factor_correct(nprocs):
+    m = Machine(small_config())
+    wl = Cholesky(nblocks=4, block=4, border=4)
+    wl.run(m, nprocs=nprocs)
+    L = wl.result_factor(m)
+    assert verify_cholesky(wl.input, L) < 1e-9
+
+
+def test_cholesky_task_queue_consumed_exactly_once():
+    m = Machine(small_config())
+    wl = Cholesky(nblocks=4, block=4, border=4)
+    wl.run(m, nprocs=4)
+    # the shared task counter ended past n (each thread reads one sentinel)
+    final = m.read_word(wl.task.addr(0))
+    assert final >= wl.n
+
+
+def test_cholesky_structure_covers_all_columns():
+    wl = Cholesky(nblocks=3, block=4, border=2)
+    cols = sorted(wl.task_to_column(t) for t in range(wl.n))
+    assert cols == list(range(wl.n))
+    for j in range(wl.n):
+        assert wl.col_rows(j)[0] == j
+        for k in wl.deps(j):
+            assert k < j
