@@ -7,7 +7,7 @@ and Cholesky is the worst scaler (as in the paper, where it tops out near
 11 of 64 while the others reach 19-27).
 """
 
-from harness import paper_note, print_series, proc_sweep, speedup_curve
+from harness import paper_note, print_series, proc_sweep, run_point, speedup_curves
 
 from repro.workloads import FIG13_KERNELS, SUITE
 
@@ -21,7 +21,9 @@ def test_fig13_kernel_speedups(benchmark):
     procs = proc_sweep()
 
     def run_all():
-        return {name: speedup_curve(name, procs) for name in FIG13_KERNELS}
+        # one sweep over the whole kernels x procs grid: points fan out
+        # across NUMACHINE_JOBS workers and repeat runs hit the cache
+        return speedup_curves(FIG13_KERNELS, procs)
 
     curves = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
@@ -48,8 +50,6 @@ def test_fig13_kernel_speedups(benchmark):
     assert curves["cholesky"][top] <= min(others) * 1.05
     # LU-contiguous beats non-contiguous in absolute time (locality), even
     # where the relative curves cross
-    from harness import run_workload
-
-    _, t_contig = run_workload("lu_contig", top)
-    _, t_noncontig = run_workload("lu_noncontig", top)
+    t_contig = run_point("lu_contig", top).parallel_time_ns
+    t_noncontig = run_point("lu_noncontig", top).parallel_time_ns
     assert t_contig < t_noncontig

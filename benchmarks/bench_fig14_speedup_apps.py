@@ -7,7 +7,7 @@ applications such as Barnes and Water show excellent speedups, as high as
 embarrassingly parallel apps near-linear, everything comfortably above 1.
 """
 
-from harness import max_procs, paper_note, print_series, proc_sweep, speedup_curve
+from harness import paper_note, print_series, proc_sweep, speedup_curves
 
 from repro.workloads import FIG14_APPS, SUITE
 
@@ -22,7 +22,7 @@ def test_fig14_app_speedups(benchmark):
     procs = proc_sweep()
 
     def run_all():
-        return {name: speedup_curve(name, procs) for name in FIG14_APPS}
+        return speedup_curves(FIG14_APPS, procs)
 
     curves = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

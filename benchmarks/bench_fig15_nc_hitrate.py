@@ -3,7 +3,7 @@ caching effects, for the six workloads the paper plots (Barnes, Radix, FFT,
 LU, Ocean, Water) at the full processor count.
 """
 
-from harness import bench_config, max_procs, paper_note, print_series, run_workload
+from harness import max_procs, paper_note, print_series, run_points, sweep_point
 
 from repro.workloads import FIG15_APPS
 
@@ -18,11 +18,10 @@ def test_fig15_network_cache_hit_rate(benchmark):
     procs = max_procs()
 
     def run_all():
-        out = {}
-        for name in FIG15_APPS:
-            machine, _ = run_workload(name, procs, spread=True)
-            out[name] = machine.nc_hit_rate()
-        return out
+        records = run_points(
+            [sweep_point(name, procs, spread=True) for name in FIG15_APPS]
+        )
+        return {r.workload: r.nc_hit_rate for r in records}
 
     rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

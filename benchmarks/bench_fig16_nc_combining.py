@@ -3,7 +3,7 @@ out because a fetch of the same line was already in flight (NACK + local
 retry satisfied by the arriving response).
 """
 
-from harness import max_procs, paper_note, print_series, run_workload
+from harness import max_procs, paper_note, print_series, run_points, sweep_point
 
 from repro.workloads import FIG15_APPS
 
@@ -18,14 +18,13 @@ def test_fig16_network_cache_combining(benchmark):
     procs = max_procs()
 
     def run_all():
-        out = {}
-        for name in FIG15_APPS:
-            machine, _ = run_workload(name, procs, spread=True)
-            out[name] = {
-                "combining": machine.nc_combining_rate(),
-                "stats": machine.nc_stats(),
-            }
-        return out
+        records = run_points(
+            [sweep_point(name, procs, spread=True) for name in FIG15_APPS]
+        )
+        return {
+            r.workload: {"combining": r.nc_combining_rate, "stats": r.nc_stats}
+            for r in records
+        }
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

@@ -6,7 +6,7 @@ performance bottleneck' (all averages below ~65%, with the bus highest and
 the central ring lowest for most codes).
 """
 
-from harness import max_procs, paper_note, print_series, run_workload
+from harness import max_procs, paper_note, print_series, run_points, sweep_point
 
 from repro.workloads import FIG15_APPS
 
@@ -21,11 +21,10 @@ def test_fig17_utilizations(benchmark):
     procs = max_procs()
 
     def run_all():
-        out = {}
-        for name in FIG15_APPS:
-            machine, _ = run_workload(name, procs, spread=True)
-            out[name] = machine.utilizations()
-        return out
+        records = run_points(
+            [sweep_point(name, procs, spread=True) for name in FIG15_APPS]
+        )
+        return {r.workload: r.utilizations for r in records}
 
     utils = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

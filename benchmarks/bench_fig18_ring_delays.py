@@ -9,7 +9,7 @@ rings, which stays small.
 All values in ring-clock cycles, as the paper plots them.
 """
 
-from harness import max_procs, paper_note, print_series, run_workload
+from harness import max_procs, paper_note, print_series, run_points, sweep_point
 
 from repro.workloads import FIG15_APPS
 
@@ -25,11 +25,10 @@ def test_fig18_ring_interface_delays(benchmark):
     procs = max_procs()
 
     def run_all():
-        out = {}
-        for name in FIG15_APPS:
-            machine, _ = run_workload(name, procs, spread=True)
-            out[name] = machine.ring_interface_delays()
-        return out
+        records = run_points(
+            [sweep_point(name, procs, spread=True) for name in FIG15_APPS]
+        )
+        return {r.workload: r.ring_delays for r in records}
 
     delays = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

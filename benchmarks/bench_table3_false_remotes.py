@@ -10,7 +10,7 @@ times over hundreds of millions of requests — we assert the same rarity for
 special reads, proportionally.
 """
 
-from harness import max_procs, paper_note, print_series, run_workload
+from harness import max_procs, paper_note, print_series, run_points, sweep_point
 
 from repro.workloads import FIG14_APPS, FIG13_KERNELS
 
@@ -27,16 +27,17 @@ def test_table3_false_remote_rates(benchmark):
     procs = max_procs()
 
     def run_all():
-        out = {}
-        for name in WORKLOADS:
-            machine, _ = run_workload(name, procs, spread=True)
-            stats = machine.nc_stats()
-            out[name] = {
-                "false_remote_pct": 100 * machine.false_remote_rate(),
-                "special_reads": machine.special_read_count(),
-                "requests": stats.get("requests", 0),
+        records = run_points(
+            [sweep_point(name, procs, spread=True) for name in WORKLOADS]
+        )
+        return {
+            r.workload: {
+                "false_remote_pct": 100 * r.false_remote_rate,
+                "special_reads": r.special_reads,
+                "requests": r.nc_stats.get("requests", 0),
             }
-        return out
+            for r in records
+        }
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

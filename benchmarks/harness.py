@@ -7,6 +7,10 @@ published values, and asserts the qualitative *shape* (who wins, rough
 factors, orderings) rather than absolute numbers — our substrate is a
 simulator with scaled problem sizes, not the authors' testbed.
 
+Runs go through :mod:`repro.perf`: each ``(workload, nprocs, config)``
+point is memoized in the on-disk result cache and independent points fan
+out across worker processes.
+
 Environment knobs:
 
 * ``NUMACHINE_MAX_PROCS``  — top of the processor sweep (default 16;
@@ -15,14 +19,20 @@ Environment knobs:
 * ``NUMACHINE_COMPUTE_SCALE`` — Compute-cycle multiplier restoring the
   paper's compute/communication balance at scaled-down problem sizes
   (default 32; documented in EXPERIMENTS.md).
+* ``NUMACHINE_JOBS``       — worker processes for independent sweep
+  points (default 1: serial).
+* ``NUMACHINE_CACHE`` / ``NUMACHINE_CACHE_DIR`` — result cache control
+  (set ``NUMACHINE_CACHE=0`` to force fresh runs).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import Machine, MachineConfig
+from repro.perf import RunRecord, SweepPoint, run_sweep
 from repro.workloads import SUITE, make
 
 
@@ -50,10 +60,18 @@ def proc_sweep() -> List[int]:
     return out
 
 
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(MachineConfig))
+
+
 def bench_config(**overrides) -> MachineConfig:
     cfg = MachineConfig.prototype()
     cfg.compute_scale = compute_scale()
     for key, value in overrides.items():
+        if key not in _CONFIG_FIELDS:
+            raise ValueError(
+                f"unknown MachineConfig field {key!r}; valid fields: "
+                f"{', '.join(sorted(_CONFIG_FIELDS))}"
+            )
         setattr(cfg, key, value)
     return cfg
 
@@ -74,18 +92,58 @@ def spread_cpus(config: MachineConfig, nprocs: int) -> List[int]:
         step = max(1, nstations // count)
         stations = list(range(0, nstations, step))[:count]
     cpus: List[int] = []
+    taken = set()  # membership mirror of `cpus`: keeps the top-up loop O(n)
     for s in stations:
         for i in range(min(per_station, per)):
             if len(cpus) < nprocs:
-                cpus.append(s * per + i)
+                c = s * per + i
+                cpus.append(c)
+                taken.add(c)
     # top up from remaining slots if rounding left us short
     s = 0
     while len(cpus) < nprocs:
         for c in range(s * per, (s + 1) * per):
-            if c not in cpus and len(cpus) < nprocs:
+            if c not in taken and len(cpus) < nprocs:
                 cpus.append(c)
+                taken.add(c)
         s = (s + 1) % nstations
     return sorted(cpus)
+
+
+# ----------------------------------------------------------------------
+# cached / parallel run entry points (repro.perf)
+# ----------------------------------------------------------------------
+def sweep_point(
+    name: str,
+    nprocs: int,
+    config: Optional[MachineConfig] = None,
+    spread: bool = False,
+    variant: str = "",
+) -> SweepPoint:
+    cfg = config or bench_config()
+    cpus: Tuple[int, ...] = ()
+    if spread:
+        cpus = tuple(spread_cpus(cfg, nprocs))
+    return SweepPoint(
+        workload=name, nprocs=nprocs, config=cfg, cpus=cpus, variant=variant
+    )
+
+
+def run_point(
+    name: str,
+    nprocs: int,
+    config: Optional[MachineConfig] = None,
+    spread: bool = False,
+    variant: str = "",
+) -> RunRecord:
+    """Run one workload point (cached); returns its :class:`RunRecord`."""
+    return run_sweep([sweep_point(name, nprocs, config, spread, variant)])[0]
+
+
+def run_points(points: List[SweepPoint]) -> List[RunRecord]:
+    """Run many independent points — parallel across ``NUMACHINE_JOBS``
+    workers, memoized in the result cache, output order = input order."""
+    return run_sweep(points)
 
 
 def run_workload(
@@ -94,7 +152,11 @@ def run_workload(
     config: Optional[MachineConfig] = None,
     spread: bool = False,
 ) -> Tuple[Machine, float]:
-    """Run one suite workload; returns (machine, parallel_time_ns)."""
+    """Run one suite workload in-process; returns (machine, parallel_time_ns).
+
+    The machine object is live (useful for ad-hoc inspection); benches that
+    only need statistics should prefer :func:`run_point`, which caches.
+    """
     cfg = config or bench_config()
     machine = Machine(cfg)
     workload = make(name, "bench")
@@ -109,13 +171,35 @@ def speedup_curve(
     name: str, procs: Iterable[int], config_factory=bench_config
 ) -> Dict[int, float]:
     """Parallel speedup vs the workload's own single-processor run."""
-    base = None
-    out: Dict[int, float] = {}
-    for p in procs:
-        _m, t = run_workload(name, p, config_factory())
-        if base is None:
-            base = t
-        out[p] = base / t
+    return speedup_curves([name], procs, config_factory)[name]
+
+
+def speedup_curves(
+    names: Iterable[str], procs: Iterable[int], config_factory=bench_config
+) -> Dict[str, Dict[int, float]]:
+    """Speedup curves for several workloads at once.
+
+    The whole ``names x procs`` grid is submitted as one sweep, so with
+    ``NUMACHINE_JOBS > 1`` every point runs concurrently and cached points
+    are free."""
+    names = list(names)
+    procs = list(procs)
+    points = [
+        sweep_point(name, p, config_factory()) for name in names for p in procs
+    ]
+    records = run_sweep(points)
+    out: Dict[str, Dict[int, float]] = {}
+    i = 0
+    for name in names:
+        base = None
+        curve: Dict[int, float] = {}
+        for p in procs:
+            t = records[i].parallel_time_ns
+            i += 1
+            if base is None:
+                base = t
+            curve[p] = base / t
+        out[name] = curve
     return out
 
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 from ..core.states import CacheState
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     addr: int
     state: CacheState
@@ -26,7 +26,14 @@ class CacheLine:
 
 
 class CacheArray:
-    """A set-associative write-back cache array with LRU replacement."""
+    """A set-associative write-back cache array with LRU replacement.
+
+    Sets materialize lazily: a 1 MB L2 has 16K sets, and a 64-processor
+    machine builds 128 cache arrays, so eagerly allocating every set dict
+    dominates machine construction time for short runs and sweeps.
+    """
+
+    __slots__ = ("name", "line_bytes", "assoc", "num_sets", "_sets")
 
     def __init__(
         self,
@@ -41,17 +48,20 @@ class CacheArray:
         self.line_bytes = line_bytes
         self.assoc = assoc
         self.num_sets = size_bytes // (line_bytes * assoc)
-        # each set is an insertion-ordered dict addr -> CacheLine; last = MRU
-        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        # set index -> insertion-ordered dict addr -> CacheLine; last = MRU.
+        # Sets are created on first install and never removed.
+        self._sets: Dict[int, Dict[int, CacheLine]] = {}
 
     def set_index(self, line_addr: int) -> int:
         return (line_addr // self.line_bytes) % self.num_sets
 
     # ------------------------------------------------------------------
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
-        s = self._sets[self.set_index(line_addr)]
+        s = self._sets.get((line_addr // self.line_bytes) % self.num_sets)
+        if s is None:
+            return None
         line = s.get(line_addr)
-        if line is not None and touch:
+        if line is not None and touch and len(s) > 1:
             s.pop(line_addr)
             s[line_addr] = line  # move to MRU
         return line
@@ -63,7 +73,10 @@ class CacheArray:
 
         A returned victim in DIRTY state must be written back by the caller.
         """
-        s = self._sets[self.set_index(line_addr)]
+        idx = (line_addr // self.line_bytes) % self.num_sets
+        s = self._sets.get(idx)
+        if s is None:
+            s = self._sets[idx] = {}
         victim = None
         existing = s.pop(line_addr, None)
         if existing is None and len(s) >= self.assoc:
@@ -77,7 +90,10 @@ class CacheArray:
         return victim
 
     def remove(self, line_addr: int) -> Optional[CacheLine]:
-        return self._sets[self.set_index(line_addr)].pop(line_addr, None)
+        s = self._sets.get((line_addr // self.line_bytes) % self.num_sets)
+        if s is None:
+            return None
+        return s.pop(line_addr, None)
 
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:
         """Drop a line (coherence invalidation); returns it if present."""
@@ -92,8 +108,9 @@ class CacheArray:
 
     # ------------------------------------------------------------------
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())
 
     def lines(self):
-        for s in self._sets:
-            yield from s.values()
+        # set-index order, matching the eager-list behaviour exactly
+        for idx in sorted(self._sets):
+            yield from self._sets[idx].values()

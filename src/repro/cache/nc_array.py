@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional
 from ..core.states import LineState
 
 
-@dataclass
+@dataclass(slots=True)
 class NCLine:
     """One NC slot's contents (tag + SRAM state + DRAM data)."""
 

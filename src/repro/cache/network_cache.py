@@ -25,6 +25,7 @@ forwarding agent with no storage — the baseline for the NC ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.states import CacheState, LineState
@@ -35,7 +36,7 @@ from ..sim.stats import StatGroup
 from .nc_array import NCArray, NCLine
 
 
-@dataclass
+@dataclass(slots=True)
 class NCPending:
     """In-flight transaction record for a locked NC line."""
 
@@ -75,9 +76,23 @@ class NetworkCache:
         self.stats = StatGroup(f"S{self.station_id}.nc")
         self.monitor = None
         self._tag_ticks = ns_to_ticks(config.nc_tag_ns)
+        self._handlers = None  # mtype -> bound handler, built on first dispatch
+        # hot-path tick values cached once (see MemoryModule)
+        self._cmd_ticks = config.cmd_bus_ticks
+        self._line_ticks = config.line_bus_ticks
+        self._line_flits = config.line_flits
+        self._nc_read = ns_to_ticks(config.nc_dram_read_ns)
+        self._nc_write = ns_to_ticks(config.nc_dram_write_ns)
         #: bypass-mode pending records keyed by (line_addr, cpu)
         self._bypass_pending: Dict[Tuple[int, Optional[int]], NCPending] = {}
         self._retry_ticks = 4 * config.nack_retry_cpu_cycles * config.cpu_cycle_ticks
+        # hot request-path counters, bound lazily on first use so the stat
+        # group's contents (and creation order) match the original exactly
+        self._ctr_requests = None
+        self._ctr_hits = None
+        self._ctr_misses = None
+        self._ctr_caching_hits = None
+        self._ctr_migration_hits = None
         engine.blocked_watchers.append(self._blocked_reason)
 
     # ==================================================================
@@ -91,8 +106,16 @@ class NetworkCache:
         if self._busy or self.in_fifo.empty:
             return
         self._busy = True
-        pkt = self.in_fifo.pop(self.engine.now)
-        self.engine.schedule(self._tag_ticks, self._service, pkt)
+        # Engine.schedule inlined (_tag_ticks is a non-negative constant):
+        # every packet entering the NC passes through here
+        engine = self.engine
+        pkt = self.in_fifo.pop(engine.now)
+        seq = engine._seq + 1
+        engine._seq = seq
+        _heappush(
+            engine._queue,
+            (engine.now + self._tag_ticks, 1, seq, self._service, pkt),
+        )
 
     def _service(self, pkt: Packet) -> None:
         extra = self._dispatch(pkt)
@@ -110,16 +133,19 @@ class NetworkCache:
             if mtype is MsgType.WRITE_BACK:
                 return self._on_local_writeback(pkt)
             return self._on_local_request(pkt)
-        handler = {
-            MsgType.DATA_RESP: self._on_data,
-            MsgType.DATA_RESP_EX: self._on_data,
-            MsgType.NACK: self._on_nack,
-            MsgType.INVALIDATE: self._on_invalidate,
-            MsgType.INTERVENTION: self._on_intervention,
-            MsgType.INTERVENTION_EX: self._on_intervention,
-            MsgType.MULTICAST_DATA: self._on_multicast_data,
-            MsgType.KILL: self._on_kill,
-        }.get(mtype)
+        handlers = self._handlers
+        if handlers is None:
+            handlers = self._handlers = {
+                MsgType.DATA_RESP: self._on_data,
+                MsgType.DATA_RESP_EX: self._on_data,
+                MsgType.NACK: self._on_nack,
+                MsgType.INVALIDATE: self._on_invalidate,
+                MsgType.INTERVENTION: self._on_intervention,
+                MsgType.INTERVENTION_EX: self._on_intervention,
+                MsgType.MULTICAST_DATA: self._on_multicast_data,
+                MsgType.KILL: self._on_kill,
+            }
+        handler = handlers.get(mtype)
         if handler is None:
             from ..softctl import ops as softops
 
@@ -193,7 +219,7 @@ class NetworkCache:
         )
         owner = self.station.cpus[owner_idx]
         self.out_port.send(
-            0, self.config.cmd_bus_ticks,
+            0, self._cmd_ticks,
             lambda start, c=owner, a=pkt.addr, e=exclusive: c.handle_intervention(
                 a, e, lambda data, a2=a: self._local_intervention_done(a2, data)
             ),
@@ -225,23 +251,50 @@ class NetworkCache:
         return self._nc_read_ticks()
 
     def _count_hit_kind(self, line: NCLine, cpu: int) -> None:
-        self.stats.counter("requests").incr()
-        self.stats.counter("hits").incr()
+        ctr = self._ctr_requests
+        if ctr is None:
+            ctr = self._ctr_requests = self.stats.counter("requests")
+        ctr.value += 1
+        ctr = self._ctr_hits
+        if ctr is None:
+            ctr = self._ctr_hits = self.stats.counter("hits")
+        ctr.value += 1
         if line.brought_by is not None and line.brought_by == cpu:
-            self.stats.counter("caching_hits").incr()
+            ctr = self._ctr_caching_hits
+            if ctr is None:
+                ctr = self._ctr_caching_hits = self.stats.counter("caching_hits")
+            ctr.value += 1
         else:
-            self.stats.counter("migration_hits").incr()
+            ctr = self._ctr_migration_hits
+            if ctr is None:
+                ctr = self._ctr_migration_hits = self.stats.counter("migration_hits")
+            ctr.value += 1
 
     def _count_resolution(self, pkt: Packet, hit: bool, line, cpu) -> None:
-        self.stats.counter("requests").incr()
+        ctr = self._ctr_requests
+        if ctr is None:
+            ctr = self._ctr_requests = self.stats.counter("requests")
+        ctr.value += 1
         if hit:
-            self.stats.counter("hits").incr()
+            ctr = self._ctr_hits
+            if ctr is None:
+                ctr = self._ctr_hits = self.stats.counter("hits")
+            ctr.value += 1
             if line is not None and line.brought_by is not None and line.brought_by == cpu:
-                self.stats.counter("caching_hits").incr()
+                ctr = self._ctr_caching_hits
+                if ctr is None:
+                    ctr = self._ctr_caching_hits = self.stats.counter("caching_hits")
+                ctr.value += 1
             else:
-                self.stats.counter("migration_hits").incr()
+                ctr = self._ctr_migration_hits
+                if ctr is None:
+                    ctr = self._ctr_migration_hits = self.stats.counter("migration_hits")
+                ctr.value += 1
         else:
-            self.stats.counter("misses").incr()
+            ctr = self._ctr_misses
+            if ctr is None:
+                ctr = self._ctr_misses = self.stats.counter("misses")
+            ctr.value += 1
 
     # ==================================================================
     # local write-backs (dirty L2 evictions of remote lines)
@@ -289,7 +342,7 @@ class NetworkCache:
             mtype=MsgType.WRITE_BACK, addr=addr,
             src_station=self.station_id,
             dest_mask=self.codec.station_mask(home),
-            data=list(data), flits=self.config.line_flits,
+            data=list(data), flits=self._line_flits,
         )
         self.stats.counter("wb_forwarded").incr()
         self._send_packet(wb, has_data=True)
@@ -425,7 +478,7 @@ class NetworkCache:
             )
             owner = self.station.cpus[owner_idx]
             self.out_port.send(
-                0, self.config.cmd_bus_ticks,
+                0, self._cmd_ticks,
                 lambda start, c=owner, a=pkt.addr, e=exclusive: c.handle_intervention(
                     a, e, lambda data, a2=a: self._local_intervention_done(a2, data)
                 ),
@@ -458,7 +511,7 @@ class NetworkCache:
                     self._send_simple(MsgType.NACK_INTERVENTION, pkt)
 
         self.out_port.send(
-            0, self.config.cmd_bus_ticks,
+            0, self._cmd_ticks,
             lambda start: [
                 c.handle_intervention(pkt.addr, True, on_reply) for c in cpus
             ],
@@ -482,7 +535,7 @@ class NetworkCache:
                     src_station=self.station_id,
                     dest_mask=self.codec.station_mask(home),
                     requester=pkt.requester, data=data,
-                    flits=self.config.line_flits,
+                    flits=self._line_flits,
                     meta={"to_home": True, "txn": pkt.meta.get("txn")},
                 )
                 self._send_packet(resp, has_data=True)
@@ -492,7 +545,7 @@ class NetworkCache:
                     src_station=self.station_id,
                     dest_mask=self.codec.station_mask(req_station),
                     requester=pkt.requester, data=data,
-                    flits=self.config.line_flits,
+                    flits=self._line_flits,
                     meta={"inv_follows": False, "prefetch": prefetch},
                 )
                 self._send_packet(resp, has_data=True)
@@ -514,7 +567,7 @@ class NetworkCache:
                     src_station=self.station_id,
                     dest_mask=self.codec.station_mask(home),
                     requester=pkt.requester, data=data,
-                    flits=self.config.line_flits,
+                    flits=self._line_flits,
                     meta={"to_home": True, "txn": pkt.meta.get("txn")},
                 )
                 self._send_packet(resp, has_data=True)
@@ -524,7 +577,7 @@ class NetworkCache:
                     src_station=self.station_id,
                     dest_mask=self.codec.station_mask(req_station),
                     requester=pkt.requester, data=data,
-                    flits=self.config.line_flits,
+                    flits=self._line_flits,
                     meta={"inv_follows": False, "prefetch": prefetch},
                 )
                 self._send_packet(resp, has_data=True)
@@ -533,7 +586,7 @@ class NetworkCache:
                     src_station=self.station_id,
                     dest_mask=self.codec.station_mask(home),
                     requester=pkt.requester, data=list(data),
-                    flits=self.config.line_flits,
+                    flits=self._line_flits,
                     meta={"to_home": True, "txn": pkt.meta.get("txn")},
                 )
                 self._send_packet(copy, has_data=True)
@@ -801,7 +854,7 @@ class NetworkCache:
     def _nack_cpu(self, cpu: int, addr: int) -> None:
         c = self.station.cpu_by_global(cpu)
         self.out_port.send(
-            0, self.config.cmd_bus_ticks,
+            0, self._cmd_ticks,
             lambda start, cc=c, a=addr: cc.nack_from_module(a),
         )
 
@@ -810,8 +863,8 @@ class NetworkCache:
         delay: int = 0,
     ) -> None:
         c = self.station.cpu_by_global(cpu)
-        ticks = self.config.cmd_bus_ticks + (
-            self.config.line_bus_ticks if data is not None else 0
+        ticks = self._cmd_ticks + (
+            self._line_ticks if data is not None else 0
         )
 
         self.out_port.send(
@@ -832,7 +885,7 @@ class NetworkCache:
             if proc_mask & (1 << i)
         ]
         self.out_port.send(
-            0, self.config.cmd_bus_ticks,
+            0, self._cmd_ticks,
             lambda start, vs=victims, a=addr: [
                 c.invalidate_line(a, only_shared=True) for c in vs
             ],
@@ -850,7 +903,7 @@ class NetworkCache:
             if keep is None or c.cpu_id != keep
         ]
         self.out_port.send(
-            0, self.config.cmd_bus_ticks,
+            0, self._cmd_ticks,
             lambda start, vs=victims, a=addr, d=include_dirty: [
                 c.invalidate_line(a, only_shared=not d) for c in vs
             ],
@@ -882,18 +935,18 @@ class NetworkCache:
         self._send_packet(pkt, has_data=False)
 
     def _send_packet(self, pkt: Packet, has_data: bool, delay: int = 0) -> None:
-        ticks = self.config.cmd_bus_ticks + (
-            self.config.line_bus_ticks if has_data else 0
+        ticks = self._cmd_ticks + (
+            self._line_ticks if has_data else 0
         )
         self.out_port.send(
             delay, ticks, lambda start, p=pkt: self.station.ring_interface.send(p)
         )
 
     def _nc_read_ticks(self) -> int:
-        return ns_to_ticks(self.config.nc_dram_read_ns)
+        return self._nc_read
 
     def _nc_write_ticks(self) -> int:
-        return ns_to_ticks(self.config.nc_dram_write_ns)
+        return self._nc_write
 
     def _blocked_reason(self) -> Optional[str]:
         stuck = [

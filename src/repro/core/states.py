@@ -30,34 +30,43 @@ import enum
 
 
 class LineState(enum.Enum):
-    """Directory state of a line in a memory module or network cache."""
+    """Directory state of a line in a memory module or network cache.
+
+    ``is_local`` / ``is_valid`` are precomputed member attributes (not
+    properties): they are consulted on every directory action, and a plain
+    attribute load is several times cheaper than a property call.
+    """
 
     LV = "LV"
     LI = "LI"
     GV = "GV"
     GI = "GI"
 
-    @property
-    def is_local(self) -> bool:
-        return self in (LineState.LV, LineState.LI)
+    # identity hash (enum equality is identity); the default Enum.__hash__
+    # is a Python-level function that shows up in dispatch-dict lookups
+    __hash__ = object.__hash__
 
-    @property
-    def is_valid(self) -> bool:
-        """Whether the memory/NC itself holds valid data."""
-        return self in (LineState.LV, LineState.GV)
+
+for _ls in LineState:
+    _ls.is_local = _ls.value in ("LV", "LI")
+    #: whether the memory/NC itself holds valid data
+    _ls.is_valid = _ls.value in ("LV", "GV")
 
 
 class CacheState(enum.Enum):
-    """Secondary-cache (L2) line state: write-back invalidate MSI."""
+    """Secondary-cache (L2) line state: write-back invalidate MSI.
+
+    ``readable`` / ``writable`` are precomputed member attributes, checked
+    on every cache hit in the processor fast path.
+    """
 
     INVALID = "I"
     SHARED = "S"
     DIRTY = "D"
 
-    @property
-    def readable(self) -> bool:
-        return self is not CacheState.INVALID
+    __hash__ = object.__hash__
 
-    @property
-    def writable(self) -> bool:
-        return self is CacheState.DIRTY
+
+for _cs in CacheState:
+    _cs.readable = _cs.value != "I"
+    _cs.writable = _cs.value == "D"

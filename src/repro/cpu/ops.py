@@ -18,14 +18,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Read:
     """Load one word; the value is sent back into the generator."""
 
     addr: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Write:
     """Store one word."""
 
@@ -33,7 +33,7 @@ class Write:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicRMW:
     """Atomic read-modify-write (LL/SC-style): the line is acquired
     exclusively, ``fn(old)`` is stored, and ``old`` is sent back.
@@ -43,14 +43,14 @@ class AtomicRMW:
     fn: Callable[[Any], Any]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Local computation costing ``cycles`` CPU cycles (no memory traffic)."""
 
     cycles: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Barrier:
     """Hardware barrier over ``cpus`` (global ids) using the per-processor
     barrier registers and a multicast register write (§3.2)."""
@@ -59,14 +59,14 @@ class Barrier:
     cpus: Tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase:
     """Set the processor's phase-identifier register (monitoring, §3.3)."""
 
     pid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SoftOp:
     """A system-software operation exposing low-level hardware control
     (§3.2): coherence bypass, kill/invalidate/writeback/prefetch, block

@@ -19,7 +19,7 @@ barrier registers, and the phase-identifier register of §3.2/§3.3.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..cache.base import CacheArray, CacheLine
 from ..core.states import CacheState
@@ -66,6 +66,19 @@ class Processor:
         self._miss_detect = ns_to_ticks(config.l2_miss_detect_ns)
         self._fill = ns_to_ticks(config.cpu_fill_ns)
         self._retry = config.nack_retry_cpu_cycles * self._cpu
+        self._cmd_ticks = config.cmd_bus_ticks
+        self._line_ticks = config.line_bus_ticks
+        # hit-path address helpers and counters, bound once: these run for
+        # every batched cache hit, not just for misses
+        self._line_mask = config.line_bytes - 1
+        self._word_bytes = config.word_bytes
+        self._reads_ctr = self.stats.counter("reads")
+        self._writes_ctr = self.stats.counter("writes")
+        self._rmws_ctr = self.stats.counter("rmws")
+        self._program_send = None
+        # per-kind miss counters, created lazily on first use so the stat
+        # group's contents match the original creation order exactly
+        self._miss_ctrs: Dict[str, Any] = {}
         engine.blocked_watchers.append(self._blocked_reason)
 
     # ==================================================================
@@ -73,6 +86,7 @@ class Processor:
     # ==================================================================
     def set_program(self, program) -> None:
         self.program = program
+        self._program_send = getattr(program, "send", None)
         self.finished_at = None
         self.started = False
         self.engine.schedule(0, self._step)
@@ -89,7 +103,7 @@ class Processor:
             self.started = True
             return next(self.program)
         value, self._resume_value = self._resume_value, None
-        send = getattr(self.program, "send", None)
+        send = self._program_send
         if send is None:
             # plain iterators are fine for programs that ignore read values
             return next(self.program)
@@ -104,89 +118,94 @@ class Processor:
         if self.program is None or self.done:
             return
         cfg = self.config
+        schedule = self.engine.schedule
+        next_op = self._next_op
+        try_read = self._try_read
+        try_write = self._try_write
+        Read, Write, Compute, AtomicRMW = O.Read, O.Write, O.Compute, O.AtomicRMW
         acc = 0
         for _ in range(cfg.cpu_batch):
             try:
-                op = self._next_op()
+                op = next_op()
             except StopIteration:
                 self._finish(acc)
                 return
             cls = type(op)
-            if cls is O.Read:
-                hit, ticks, value = self._try_read(op.addr)
+            if cls is Read:
+                hit, ticks, value = try_read(op.addr)
                 if hit:
                     acc += ticks
                     self._resume_value = value
                     continue
-                self.engine.schedule(acc, self._issue, ("read", op.addr, None))
+                schedule(acc, self._issue, ("read", op.addr, None))
                 return
-            if cls is O.Write:
-                hit, ticks = self._try_write(op.addr, op.value)
+            if cls is Write:
+                hit, ticks = try_write(op.addr, op.value)
                 if hit:
                     acc += ticks
                     continue
-                self.engine.schedule(acc, self._issue, ("write", op.addr, op.value))
+                schedule(acc, self._issue, ("write", op.addr, op.value))
                 return
-            if cls is O.Compute:
+            if cls is Compute:
                 acc += int(op.cycles * cfg.compute_scale) * self._cpu
                 continue
-            if cls is O.AtomicRMW:
+            if cls is AtomicRMW:
                 hit, ticks, old = self._try_rmw(op.addr, op.fn)
                 if hit:
                     acc += ticks
                     self._resume_value = old
                     continue
-                self.engine.schedule(acc, self._issue, ("rmw", op.addr, op.fn))
+                schedule(acc, self._issue, ("rmw", op.addr, op.fn))
                 return
             if cls is O.Barrier:
-                self.engine.schedule(acc, self._do_barrier, op)
+                schedule(acc, self._do_barrier, op)
                 return
             if cls is O.Phase:
                 self.phase = op.pid
                 continue
             if cls is O.SoftOp:
-                self.engine.schedule(acc, self._do_softop, op)
+                schedule(acc, self._do_softop, op)
                 return
             raise SimulationError(f"unknown op {op!r} from program on P{self.cpu_id}")
-        self.engine.schedule(max(acc, 1), self._step)
+        schedule(max(acc, 1), self._step)
 
     # ------------------------------------------------------------------
     # cache fast paths
     # ------------------------------------------------------------------
     def _word_index(self, addr: int) -> int:
-        return (addr % self.config.line_bytes) // self.config.word_bytes
+        return (addr & self._line_mask) // self._word_bytes
 
     def _try_read(self, addr: int):
-        la = self.config.line_addr(addr)
+        la = addr & ~self._line_mask
         l1 = self.l1.lookup(la)
         line = self.l2.lookup(la)
         if line is not None and line.state.readable:
-            self.stats.counter("reads").incr()
+            self._reads_ctr.value += 1
             if l1 is not None:
-                return True, self._l1_hit, line.data[self._word_index(addr)]
+                return True, self._l1_hit, line.data[(addr & self._line_mask) // self._word_bytes]
             self.l1.install(la, line.state, None)
-            return True, self._l2_hit, line.data[self._word_index(addr)]
+            return True, self._l2_hit, line.data[(addr & self._line_mask) // self._word_bytes]
         return False, 0, None
 
     def _try_write(self, addr: int, value):
-        la = self.config.line_addr(addr)
+        la = addr & ~self._line_mask
         line = self.l2.lookup(la)
         if line is not None and line.state.writable:
-            self.stats.counter("writes").incr()
+            self._writes_ctr.value += 1
             l1 = self.l1.lookup(la)
             ticks = self._l1_hit if l1 is not None else self._l2_hit
             if l1 is None:
                 self.l1.install(la, line.state, None)
-            line.data[self._word_index(addr)] = value
+            line.data[(addr & self._line_mask) // self._word_bytes] = value
             return True, ticks
         return False, 0
 
     def _try_rmw(self, addr: int, fn):
-        la = self.config.line_addr(addr)
+        la = addr & ~self._line_mask
         line = self.l2.lookup(la)
         if line is not None and line.state.writable:
-            self.stats.counter("rmws").incr()
-            idx = self._word_index(addr)
+            self._rmws_ctr.value += 1
+            idx = (addr & self._line_mask) // self._word_bytes
             old = line.data[idx]
             line.data[idx] = fn(old)
             return True, self._l2_hit, old
@@ -211,7 +230,10 @@ class Processor:
             "exclusive_only": bool(attrs is not None and attrs.exclusive_only),
         }
         self._request_start = self.engine.now
-        self.stats.counter(f"{kind}_misses").incr()
+        ctr = self._miss_ctrs.get(kind)
+        if ctr is None:
+            ctr = self._miss_ctrs[kind] = self.stats.counter(f"{kind}_misses")
+        ctr.value += 1
         self.engine.schedule(self._miss_detect, self._send_request)
 
     def _send_request(self) -> None:
@@ -246,7 +268,7 @@ class Processor:
         )
         target = self.station.module_for(la)
         self.station.bus.request(
-            self.config.cmd_bus_ticks, lambda start, t=target, k=pkt: t.handle(k)
+            self._cmd_ticks, lambda start, t=target, k=pkt: t.handle(k)
         )
 
     def _complete_locally(self) -> None:
@@ -332,7 +354,7 @@ class Processor:
             meta={"local": True},
         )
         self.station.bus.request(
-            self.config.cmd_bus_ticks + self.config.line_bus_ticks,
+            self._cmd_ticks + self._line_ticks,
             lambda start, t=target, k=wb: t.handle(k),
         )
 
@@ -368,13 +390,13 @@ class Processor:
     def _dispatch_uncached(self, pkt: Packet, local: bool, home: int) -> None:
         if local:
             self.station.bus.request(
-                self.config.cmd_bus_ticks,
+                self._cmd_ticks,
                 lambda start, p=pkt: self.station.memory.handle(p),
             )
         else:
             pkt.dest_mask = self.station.codec.station_mask(home)
             self.station.bus.request(
-                self.config.cmd_bus_ticks,
+                self._cmd_ticks,
                 lambda start, p=pkt: self.station.ring_interface.send(p),
             )
 
@@ -433,7 +455,7 @@ class Processor:
         self.stats.counter("interventions").incr()
         # the CPU drives the data onto the bus
         self.station.bus.request(
-            self.config.cmd_bus_ticks + self.config.line_bus_ticks,
+            self._cmd_ticks + self._line_ticks,
             lambda start, d=data: respond(d),
         )
 
@@ -457,7 +479,7 @@ class Processor:
         self._barrier_wait = (sense, full)
         self.stats.counter("barriers").incr()
         self.station.bus.request(
-            self.config.cmd_bus_ticks,
+            self._cmd_ticks,
             lambda start, k=pkt: self.station.ring_interface.send(k),
         )
         self._check_barrier()

@@ -39,6 +39,33 @@ DELIVER = "deliver"
 class StationRingInterface:
     """The local ring interface of one station."""
 
+    __slots__ = (
+        "engine",
+        "codec",
+        "station_id",
+        "ring",
+        "pos",
+        "pkt_gen_ticks",
+        "handler_ticks",
+        "bus_granter",
+        "deliver_cb",
+        "nonsink_limit",
+        "line_bus_ticks",
+        "cmd_bus_ticks",
+        "seq_ticks",
+        "station_bit",
+        "out_fifo",
+        "in_fifo",
+        "sink_q",
+        "nonsink_q",
+        "_pending_out",
+        "_nonsink_credits",
+        "_out_busy",
+        "_handler_busy",
+        "_drain_busy",
+        "stats",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -272,6 +299,23 @@ class StationRingInterface:
 class InterRingInterface:
     """Switch between a child ring and its parent ring (paper: 'both upward
     and downward paths are implemented with simple FIFO buffers')."""
+
+    __slots__ = (
+        "engine",
+        "codec",
+        "name",
+        "child",
+        "child_pos",
+        "parent",
+        "parent_pos",
+        "switch_ticks",
+        "seq_ticks",
+        "up_fifo",
+        "down_fifo",
+        "_up_busy",
+        "_down_busy",
+        "stats",
+    )
 
     def __init__(
         self,

@@ -31,6 +31,10 @@ from typing import Any, Dict, Optional
 class MsgType(enum.Enum):
     """Every message type exchanged in the machine."""
 
+    # identity hash (enum equality is identity): the default Enum.__hash__
+    # is Python-level and measurable in per-packet dispatch lookups
+    __hash__ = object.__hash__
+
     # ---- nonsinkable requests -------------------------------------------
     READ = enum.auto()            # shared read request (cache line fill)
     READ_EX = enum.auto()         # read exclusive (write) request
@@ -82,14 +86,21 @@ NONSINKABLE = frozenset(
 )
 
 
+# Precompute a ``sinkable`` attribute on every MsgType member: membership
+# tests against NONSINKABLE hash enum members on every packet hop, which
+# shows up in profiles; a plain attribute load does not.
+for _mt in MsgType:
+    _mt.sinkable = _mt not in NONSINKABLE
+
+
 def is_sinkable(mtype: MsgType) -> bool:
-    return mtype not in NONSINKABLE
+    return mtype.sinkable
 
 
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One logical message travelling through the machine.
 
@@ -135,7 +146,7 @@ class Packet:
 
     @property
     def sinkable(self) -> bool:
-        return is_sinkable(self.mtype)
+        return self.mtype.sinkable
 
     def copy_for_branch(self) -> "Packet":
         """Duplicate for a multicast branch (descending copies share payload

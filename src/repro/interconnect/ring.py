@@ -50,6 +50,21 @@ class RingMember(Protocol):
 class Ring:
     """One slotted ring at a given hierarchy ``level`` (0 = local rings)."""
 
+    __slots__ = (
+        "engine",
+        "name",
+        "level",
+        "size",
+        "slot_ticks",
+        "hop_ticks",
+        "seq_pos",
+        "members",
+        "_link_free",
+        "busy",
+        "packets_carried",
+        "halts",
+    )
+
     def __init__(
         self,
         engine: Engine,
@@ -105,19 +120,21 @@ class Ring:
         # serialization time is charged once, at final delivery (the
         # interfaces add ``(flits-1)*slot`` when consuming).  The link is
         # reserved for all flits, so bandwidth and FIFO order are exact.
-        now = self.engine.now
-        start = max(now, self._link_free[pos])
+        engine = self.engine
+        link_free = self._link_free
+        start = link_free[pos]
+        now = engine.now
+        if now > start:
+            start = now
         occupy = packet.flits * self.slot_ticks
-        self._link_free[pos] = start + occupy
-        self.busy.add_busy(occupy)
-        self.packets_carried.incr()
-        arrival = start + self.hop_ticks
-        nxt = self.next_pos(pos)
-        self.engine.schedule_at(
-            arrival,
+        link_free[pos] = start + occupy
+        self.busy.busy += occupy
+        self.packets_carried.value += 1
+        engine.schedule_at(
+            start + self.hop_ticks,
             self._arrive,
-            (nxt, packet),
-            priority=Engine.PRIO_ARRIVAL,
+            ((pos + 1) % self.size, packet),
+            priority=0,  # Engine.PRIO_ARRIVAL
         )
         return start
 

@@ -91,16 +91,24 @@ class RoutingMaskCodec:
             ((1 << width) - 1) << sh
             for width, sh in zip(geometry.levels, self._shifts)
         ]
+        # per-station lookup tables: coords and masks are consulted on every
+        # packet routing decision and are pure functions of the station id
+        self._station_coords = [
+            geometry.station_coords(s) for s in range(geometry.num_stations)
+        ]
+        self._station_masks = []
+        for coords in self._station_coords:
+            mask = 0
+            for coord, sh in zip(coords, self._shifts):
+                mask |= 1 << (sh + coord)
+            self._station_masks.append(mask)
 
     # ------------------------------------------------------------------
     # encoding
     # ------------------------------------------------------------------
     def station_mask(self, station_id: int) -> int:
         """The unique routing mask with one bit per field for a station."""
-        mask = 0
-        for coord, sh in zip(self.geometry.station_coords(station_id), self._shifts):
-            mask |= 1 << (sh + coord)
-        return mask
+        return self._station_masks[station_id]
 
     def combine(self, station_ids: Iterable[int]) -> int:
         """OR together station masks — the paper's (inexact) multicast set."""
@@ -145,11 +153,12 @@ class RoutingMaskCodec:
         return sorted(out)
 
     def selects(self, mask: int, station_id: int) -> bool:
-        """Does ``mask`` select ``station_id``?  (O(levels), no expansion.)"""
-        for coord, sh in zip(self.geometry.station_coords(station_id), self._shifts):
-            if not mask & (1 << (sh + coord)):
-                return False
-        return True
+        """Does ``mask`` select ``station_id``?  (O(levels), no expansion.)
+
+        Equivalent to ``mask & station_mask == station_mask`` — every field
+        must have the station's bit set."""
+        smask = self._station_masks[station_id]
+        return mask & smask == smask
 
     def is_single_station(self, mask: int) -> bool:
         """True when exactly one bit is set in every field."""
@@ -180,7 +189,7 @@ class RoutingMaskCodec:
         the packet *turns around* and starts descending, and (for
         invalidations) where the sequencing point orders it.
         """
-        src_coords = self.geometry.station_coords(src_station)
+        src_coords = self._station_coords[src_station]
         top = 0
         for level in range(self.geometry.num_levels - 1, 0, -1):
             # Targets differing from the source at `level` or above require

@@ -22,6 +22,7 @@ that is what keeps the module's service path simple and fast.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Any, Dict, List, Optional
 
 from ..core.directory import DirEntry, Directory
@@ -32,7 +33,7 @@ from ..sim.fifo import Fifo
 from ..sim.stats import StatGroup
 
 
-@dataclass
+@dataclass(slots=True)
 class Pending:
     """The in-flight transaction record stored while a line is locked."""
 
@@ -70,6 +71,15 @@ class MemoryModule:
         #: optional monitor (histogram tables etc.); see repro.monitor
         self.monitor = None
         self._lookup_ticks = ns_to_ticks(config.dir_sram_ns)
+        self._handlers = None  # mtype -> bound handler, built on first dispatch
+        # hot-path tick values cached once (config properties recompute
+        # ns_to_ticks on every access, which profiles as real run time)
+        self._cmd_ticks = config.cmd_bus_ticks
+        self._line_ticks = config.line_bus_ticks
+        self._line_flits = config.line_flits
+        self._line_words = config.line_words
+        self._dram_read = ns_to_ticks(config.dram_read_ns)
+        self._dram_write = ns_to_ticks(config.dram_write_ns)
         #: transaction ids stamp each lock instance so stale intervention
         #: answers from an earlier, already-resolved round are ignored
         self._txn = 0
@@ -80,7 +90,7 @@ class MemoryModule:
     def read_line(self, line_addr: int) -> List:
         line = self.data.get(line_addr)
         if line is None:
-            return [0] * self.config.line_words
+            return [0] * self._line_words
         return list(line)
 
     def write_line(self, line_addr: int, data: List) -> None:
@@ -98,8 +108,16 @@ class MemoryModule:
         if self._busy or self.in_fifo.empty:
             return
         self._busy = True
-        pkt = self.in_fifo.pop(self.engine.now)
-        self.engine.schedule(self._lookup_ticks, self._service, pkt)
+        # Engine.schedule inlined (_lookup_ticks is a non-negative constant):
+        # every packet entering the memory module passes through here
+        engine = self.engine
+        pkt = self.in_fifo.pop(engine.now)
+        seq = engine._seq + 1
+        engine._seq = seq
+        _heappush(
+            engine._queue,
+            (engine.now + self._lookup_ticks, 1, seq, self._service, pkt),
+        )
 
     def _service(self, pkt: Packet) -> None:
         extra = self._dispatch(pkt)
@@ -116,24 +134,28 @@ class MemoryModule:
         entry = self.directory.entry(self.config.line_addr(pkt.addr))
         if self.monitor is not None:
             self.monitor.record_memory_txn(self.station_id, pkt, entry)
-        mtype = pkt.mtype
         local = bool(pkt.meta.get("local"))
-        handler = {
-            MsgType.READ: self._on_read,
-            MsgType.READ_EX: self._on_read_ex,
-            MsgType.UPGRADE: self._on_upgrade,
-            MsgType.SPECIAL_READ: self._on_special_read,
-            MsgType.WRITE_BACK: self._on_write_back,
-            MsgType.DATA_RESP: self._on_data_home,
-            MsgType.DATA_RESP_EX: self._on_data_home,
-            MsgType.INVALIDATE: self._on_invalidate_return,
-            MsgType.PREFETCH: self._on_read,
-            MsgType.XFER_ACK: self._on_xfer_ack,
-            MsgType.NACK_INTERVENTION: self._on_nack_intervention,
-            MsgType.NO_DATA: self._on_no_data,
-            MsgType.READ_UNCACHED: self._on_read_uncached,
-            MsgType.WRITE_UNCACHED: self._on_write_uncached,
-        }.get(mtype)
+        handlers = self._handlers
+        if handlers is None:
+            # built lazily once per instance; rebuilding this dict (and
+            # hashing every MsgType) per packet is measurable in profiles
+            handlers = self._handlers = {
+                MsgType.READ: self._on_read,
+                MsgType.READ_EX: self._on_read_ex,
+                MsgType.UPGRADE: self._on_upgrade,
+                MsgType.SPECIAL_READ: self._on_special_read,
+                MsgType.WRITE_BACK: self._on_write_back,
+                MsgType.DATA_RESP: self._on_data_home,
+                MsgType.DATA_RESP_EX: self._on_data_home,
+                MsgType.INVALIDATE: self._on_invalidate_return,
+                MsgType.PREFETCH: self._on_read,
+                MsgType.XFER_ACK: self._on_xfer_ack,
+                MsgType.NACK_INTERVENTION: self._on_nack_intervention,
+                MsgType.NO_DATA: self._on_no_data,
+                MsgType.READ_UNCACHED: self._on_read_uncached,
+                MsgType.WRITE_UNCACHED: self._on_write_uncached,
+            }
+        handler = handlers.get(pkt.mtype)
         if handler is None:
             handler = self._on_other
         return handler(pkt, entry, local)
@@ -416,7 +438,7 @@ class MemoryModule:
         if pending.is_local:
             cpu = self.station.cpu_by_global(pending.requester)
             self.out_port.send(
-                0, self.config.cmd_bus_ticks,
+                0, self._cmd_ticks,
                 lambda start, c=cpu, a=pkt.addr: c.nack_from_module(a),
             )
         else:
@@ -484,7 +506,7 @@ class MemoryModule:
         if local:
             cpu = self.station.cpu_by_global(pkt.requester)
             self.out_port.send(
-                self._dram_read_ticks(), self.config.cmd_bus_ticks,
+                self._dram_read_ticks(), self._cmd_ticks,
                 lambda start, c=cpu, a=pkt.addr, v=value: c.complete_uncached(a, v),
             )
         else:
@@ -518,7 +540,7 @@ class MemoryModule:
         if local:
             cpu = self.station.cpu_by_global(pkt.requester)
             self.out_port.send(
-                0, self.config.cmd_bus_ticks,
+                0, self._cmd_ticks,
                 lambda start, c=cpu, a=pkt.addr: c.nack_from_module(a),
             )
         else:
@@ -587,8 +609,8 @@ class MemoryModule:
         self, pkt: Packet, data: Optional[List], exclusive: bool, delay: int = 0
     ) -> None:
         cpu = self.station.cpu_by_global(pkt.requester)
-        ticks = self.config.cmd_bus_ticks + (
-            self.config.line_bus_ticks if data is not None else 0
+        ticks = self._cmd_ticks + (
+            self._line_ticks if data is not None else 0
         )
         prefetch = bool(pkt.meta.get("prefetch"))
 
@@ -604,8 +626,8 @@ class MemoryModule:
         delay: int = 0,
     ) -> None:
         cpu = self.station.cpu_by_global(pending.requester)
-        ticks = self.config.cmd_bus_ticks + (
-            self.config.line_bus_ticks if data is not None else 0
+        ticks = self._cmd_ticks + (
+            self._line_ticks if data is not None else 0
         )
 
         self.out_port.send(
@@ -626,7 +648,7 @@ class MemoryModule:
             dest_mask=self.codec.station_mask(pkt.src_station),
             requester=pkt.requester,
             data=data,
-            flits=self.config.line_flits,
+            flits=self._line_flits,
             meta={"inv_follows": inv_follows, "prefetch": pkt.meta.get("prefetch", False)},
         )
         self._send_packet(resp, has_data=True, delay=delay)
@@ -675,8 +697,8 @@ class MemoryModule:
         self._send_packet(inv, has_data=False)
 
     def _send_packet(self, pkt: Packet, has_data: bool, delay: int = 0) -> None:
-        ticks = self.config.cmd_bus_ticks + (
-            self.config.line_bus_ticks if has_data else 0
+        ticks = self._cmd_ticks + (
+            self._line_ticks if has_data else 0
         )
         self.out_port.send(
             delay, ticks, lambda start, p=pkt: self.station.ring_interface.send(p)
@@ -688,7 +710,7 @@ class MemoryModule:
             raise SimulationError(f"LI line {addr:#x} with empty processor mask")
         cpu = self.station.cpus[owner_idx]
         self.out_port.send(
-            0, self.config.cmd_bus_ticks,
+            0, self._cmd_ticks,
             lambda start, c=cpu, a=addr, e=exclusive: c.handle_intervention(
                 a, e, lambda data, a2=a, e2=e: self._local_intervention_done(a2, e2, data)
             ),
@@ -756,17 +778,13 @@ class MemoryModule:
         ]
         entry.proc_mask &= ~mask
         self.out_port.send(
-            0, self.config.cmd_bus_ticks,
+            0, self._cmd_ticks,
             lambda start, vs=victims, a=addr: [c.invalidate_line(a) for c in vs],
         )
 
     # ---- timing helpers ---------------------------------------------------
     def _dram_read_ticks(self) -> int:
-        from ..sim.engine import ns_to_ticks
-
-        return ns_to_ticks(self.config.dram_read_ns)
+        return self._dram_read
 
     def _dram_write_ticks(self) -> int:
-        from ..sim.engine import ns_to_ticks
-
-        return ns_to_ticks(self.config.dram_write_ns)
+        return self._dram_write

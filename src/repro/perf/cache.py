@@ -1,0 +1,126 @@
+"""On-disk memoization of sweep results.
+
+Every simulation point is deterministic given the machine configuration,
+the workload name/size knobs and the code itself, so results are cached in
+JSON files keyed by a digest of exactly those inputs:
+
+* a fingerprint of every :class:`MachineConfig` field (geometry included),
+* the workload name, processor count, cpu placement and variant label,
+* the ``NUMACHINE_SCALE`` problem-size multiplier (it changes the workload
+  built by :func:`repro.workloads.make` without touching the config),
+* the package version (:data:`repro.__version__`) and a cache schema
+  number — bump either and every old entry is ignored.
+
+Environment knobs:
+
+* ``NUMACHINE_CACHE_DIR`` — cache directory (default ``.numachine_cache``
+  under the current working directory).
+* ``NUMACHINE_CACHE=0``   — disable reads *and* writes (every point runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from .record import RunRecord
+
+#: bump when the RunRecord layout or key derivation changes
+CACHE_SCHEMA = 1
+
+
+def _repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def config_fingerprint(config) -> str:
+    """Stable digest over every configuration field, nested dataclasses
+    included."""
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def point_key(
+    config,
+    workload: str,
+    nprocs: int,
+    cpus=(),
+    variant: str = "",
+) -> str:
+    """Cache key for one sweep point (see module docstring for contents)."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "version": _repro_version(),
+            "config": config_fingerprint(config),
+            "workload": workload,
+            "nprocs": nprocs,
+            "cpus": list(cpus),
+            "variant": variant,
+            "scale": os.environ.get("NUMACHINE_SCALE", "1.0"),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class RunCache:
+    """A directory of ``<key>.json`` result files."""
+
+    def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None) -> None:
+        if root is None:
+            root = Path(os.environ.get("NUMACHINE_CACHE_DIR", ".numachine_cache"))
+        self.root = Path(root)
+        if enabled is None:
+            enabled = os.environ.get("NUMACHINE_CACHE", "1") != "0"
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            record = RunRecord.from_json(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: RunRecord) -> None:
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        payload = {"schema": CACHE_SCHEMA, "record": record.to_json()}
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)  # atomic vs concurrent workers
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

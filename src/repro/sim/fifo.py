@@ -35,6 +35,18 @@ class Fifo:
         hardware's early-stop threshold).
     """
 
+    __slots__ = (
+        "name",
+        "capacity",
+        "high_water",
+        "_items",
+        "_on_space",
+        "max_depth",
+        "wait_time",
+        "pushes",
+        "stalls",
+    )
+
     def __init__(
         self,
         name: str,
@@ -71,19 +83,29 @@ class Fifo:
         return not self._items
 
     def push(self, item: Any, now: int) -> None:
-        if self.full:
+        items = self._items
+        if self.capacity is not None and len(items) >= self.capacity:
             raise FifoFullError(f"{self.name} overflow (capacity={self.capacity})")
-        self._items.append((item, now))
-        self.pushes.incr()
-        if len(self._items) > self.max_depth:
-            self.max_depth = len(self._items)
+        items.append((item, now))
+        self.pushes.value += 1
+        depth = len(items)
+        if depth > self.max_depth:
+            self.max_depth = depth
 
     def peek(self) -> Any:
         return self._items[0][0]
 
     def pop(self, now: int) -> Any:
         item, enq = self._items.popleft()
-        self.wait_time.add(now - enq)
+        # Accumulator.add inlined: pop is on every packet's path
+        wt = self.wait_time
+        sample = now - enq
+        wt.count += 1
+        wt.total += sample
+        if wt.min is None or sample < wt.min:
+            wt.min = sample
+        if wt.max is None or sample > wt.max:
+            wt.max = sample
         if self._on_space:
             waiters, self._on_space = self._on_space, []
             for cb in waiters:

@@ -16,10 +16,13 @@ to the memory module" rides one transaction).
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush as _heappush
 from typing import Callable, Deque, Tuple
 
 from ..sim.engine import Engine
 from ..sim.stats import BusyTracker, Counter
+
+_PRIO_NORMAL = Engine.PRIO_NORMAL
 
 
 class Bus:
@@ -30,6 +33,8 @@ class Bus:
     arbitration cost is charged per transaction (it does not occupy the data
     path and so is not counted as busy time when overlapped).
     """
+
+    __slots__ = ("engine", "name", "arb_ticks", "_queue", "_busy", "busy", "transactions")
 
     def __init__(self, engine: Engine, name: str, arb_ticks: int) -> None:
         self.engine = engine
@@ -52,10 +57,20 @@ class Bus:
             return
         self._busy = True
         duration, on_complete = self._queue.popleft()
-        start = self.engine.now + self.arb_ticks
-        self.busy.add_busy(duration)
-        self.transactions.incr()
-        self.engine.schedule(self.arb_ticks + duration, self._complete, (start, on_complete))
+        arb = self.arb_ticks
+        engine = self.engine
+        self.busy.busy += duration
+        self.transactions.value += 1
+        # Engine.schedule inlined (arb and duration are non-negative): a
+        # grant per transaction makes this the busiest scheduling site
+        now = engine.now
+        seq = engine._seq + 1
+        engine._seq = seq
+        _heappush(
+            engine._queue,
+            (now + arb + duration, _PRIO_NORMAL, seq, self._complete,
+             (now + arb, on_complete)),
+        )
 
     def _complete(self, arg) -> None:
         start, on_complete = arg
@@ -81,6 +96,8 @@ class OrderedPort:
     ready time.
     """
 
+    __slots__ = ("engine", "bus", "_queue", "_busy")
+
     def __init__(self, engine: Engine, bus: Bus) -> None:
         self.engine = engine
         self.bus = bus
@@ -99,12 +116,24 @@ class OrderedPort:
             return
         self._busy = True
         ready, duration, cb = self._queue.popleft()
-        when = max(ready, self.engine.now)
-        self.engine.schedule_at(when, self._issue, (duration, cb))
+        # Engine.schedule_at inlined; when >= now by construction
+        engine = self.engine
+        now = engine.now
+        if ready < now:
+            ready = now
+        seq = engine._seq + 1
+        engine._seq = seq
+        _heappush(
+            engine._queue,
+            (ready, _PRIO_NORMAL, seq, self._issue, (duration, cb)),
+        )
 
     def _issue(self, arg) -> None:
-        duration, cb = arg
-        self.bus.request(duration, cb)
+        # Bus.request inlined — one issue per bus transaction
+        bus = self.bus
+        bus._queue.append(arg)
+        if not bus._busy:
+            bus._grant()
         # the bus queue itself is FIFO, so the next item may be released as
         # soon as this one has entered it
         self._busy = False

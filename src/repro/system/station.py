@@ -40,6 +40,9 @@ class Station:
         self.io = IOModule(engine, config, self)
         self.ring_interface = None   # wired by the Machine
         self._peers = None           # all stations; wired by the Machine
+        # home-routing constants, bound once: module_for runs per request
+        self._station_mem_bytes = config.station_mem_bytes
+        self._num_stations = config.num_stations
 
     def peer(self, station_id: int) -> "Station":
         return self._peers[station_id]
@@ -48,8 +51,11 @@ class Station:
     def module_for(self, addr: int):
         """The on-station module responsible for ``addr``: the memory module
         when this station is its home, else the network cache."""
-        if self.config.home_station(addr) == self.station_id:
+        station = addr // self._station_mem_bytes
+        if station == self.station_id:
             return self.memory
+        if station >= self._num_stations:
+            raise ValueError(f"address {addr:#x} beyond physical memory")
         return self.nc
 
     def cpu_by_global(self, global_cpu: int) -> Processor:

@@ -1,0 +1,125 @@
+"""The perf harness: run records, the on-disk cache, and the sweep runner."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf import (
+    RunCache,
+    RunRecord,
+    SweepPoint,
+    config_fingerprint,
+    point_key,
+    run_sweep,
+)
+from repro.system.config import MachineConfig
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+def test_run_record_json_roundtrip():
+    rec = RunRecord(
+        workload="fft",
+        nprocs=4,
+        cpus=(0, 1, 4, 5),
+        parallel_time_ns=123.5,
+        time_ticks=999,
+        events=42,
+        nc_stats={"hits": 7},
+        ring_delays={"send": 1.5},
+    )
+    back = RunRecord.from_json(json.loads(json.dumps(rec.to_json())))
+    assert back == rec
+    assert back.cpus == (0, 1, 4, 5)
+
+
+def test_deterministic_view_drops_wall_clock_fields():
+    rec = RunRecord(workload="fft", nprocs=1, wall_s=1.0, events_per_sec=5.0)
+    view = rec.deterministic_view()
+    assert "wall_s" not in view and "events_per_sec" not in view
+    assert view["workload"] == "fft"
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+def test_point_key_sensitive_to_inputs():
+    cfg = MachineConfig.prototype()
+    base = point_key(cfg, "fft", 4)
+    assert point_key(cfg, "fft", 8) != base
+    assert point_key(cfg, "radix", 4) != base
+    assert point_key(cfg, "fft", 4, cpus=(0, 4)) != base
+    assert point_key(cfg, "fft", 4, variant="nc_off") != base
+
+    other = MachineConfig.prototype()
+    other.nc_enabled = False
+    assert config_fingerprint(other) != config_fingerprint(cfg)
+    assert point_key(other, "fft", 4) != base
+    # same inputs -> same key (stability across processes/sessions)
+    assert point_key(MachineConfig.prototype(), "fft", 4) == base
+
+
+def test_cache_put_get_clear(tmp_path):
+    cache = RunCache(root=tmp_path / "cache")
+    rec = RunRecord(workload="fft", nprocs=2, events=10)
+    assert cache.get("k1") is None
+    cache.put("k1", rec)
+    assert cache.get("k1") == rec
+    assert cache.clear() == 1
+    assert cache.get("k1") is None
+
+
+def test_cache_disabled_is_inert(tmp_path):
+    cache = RunCache(root=tmp_path / "cache", enabled=False)
+    cache.put("k1", RunRecord(workload="fft", nprocs=1))
+    assert cache.get("k1") is None
+    assert not (tmp_path / "cache").exists()
+
+
+def test_cache_ignores_corrupt_entries(tmp_path):
+    cache = RunCache(root=tmp_path / "cache")
+    cache.root.mkdir(parents=True)
+    (cache.root / "bad.json").write_text("{not json")
+    assert cache.get("bad") is None
+
+
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
+def _points(cfg, procs):
+    return [
+        SweepPoint(workload="fft", nprocs=p, config=cfg, size="test")
+        for p in procs
+    ]
+
+
+def test_run_sweep_serial_orders_and_caches(tmp_path):
+    cfg = MachineConfig.small(stations_per_ring=2, rings=2, cpus=2)
+    cache = RunCache(root=tmp_path / "cache")
+    points = _points(cfg, (1, 2, 4))
+    records = run_sweep(points, jobs=1, cache=cache)
+    assert [r.nprocs for r in records] == [1, 2, 4]
+    assert all(r.events > 0 and r.parallel_time_ns > 0 for r in records)
+
+    warm = RunCache(root=tmp_path / "cache")
+    again = run_sweep(points, jobs=1, cache=warm)
+    assert warm.hits == 3
+    assert [a.deterministic_view() for a in again] == [
+        b.deterministic_view() for b in records
+    ]
+
+
+def test_run_sweep_parallel_matches_serial(tmp_path):
+    cfg = MachineConfig.small(stations_per_ring=2, rings=2, cpus=2)
+    points = _points(cfg, (1, 2))
+    serial = run_sweep(points, jobs=1, cache=RunCache(root=tmp_path / "a"))
+    fanned = run_sweep(points, jobs=2, cache=RunCache(root=tmp_path / "b"))
+    assert [a.deterministic_view() for a in serial] == [
+        b.deterministic_view() for b in fanned
+    ]
+
+
+def test_default_config_is_prototype():
+    point = SweepPoint(workload="fft", nprocs=1)
+    assert point.resolved_config() == MachineConfig.prototype()
