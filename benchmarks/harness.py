@@ -167,6 +167,32 @@ def run_workload(
     return machine, result.parallel_time_ns
 
 
+def run_observed(
+    name: str,
+    nprocs: int,
+    config: Optional[MachineConfig] = None,
+    spread: bool = False,
+    **obs_kwargs,
+):
+    """Run one suite workload in-process with the observability layer on.
+
+    Returns ``(machine, obs, parallel_time_ns)``; never cached (tracing adds
+    probe events, so observed runs must not share cache entries with plain
+    ones).  ``obs_kwargs`` forward to :class:`repro.obs.Observability` —
+    e.g. ``trace_capacity=`` or ``probe_period_ns=``."""
+    from repro.obs import Observability
+
+    cfg = config or bench_config()
+    machine = Machine(cfg)
+    obs = Observability(**obs_kwargs).attach(machine)
+    workload = make(name, "bench")
+    if spread:
+        result = workload.run(machine, cpus=spread_cpus(cfg, nprocs))
+    else:
+        result = workload.run(machine, nprocs=nprocs)
+    return machine, obs, result.parallel_time_ns
+
+
 def speedup_curve(
     name: str, procs: Iterable[int], config_factory=bench_config
 ) -> Dict[int, float]:

@@ -1,18 +1,36 @@
 #!/usr/bin/env python3
-"""Performance monitoring hardware (paper §3.3).
+"""Performance monitoring hardware (paper §3.3) + the observability layer.
 
-Attaches the non-intrusive monitor, runs a workload with deliberate false
-sharing, and shows how the cache-coherence histogram table (§3.3.3) and
-the per-originator table expose the problem: a cache line ping-ponging
-between writers shows up as a high invalidation count and as LI/GI states
-under write requests, and the phase-identifier register attributes the
-traffic to the offending code region.
+Attaches the non-intrusive monitor and the ``repro.obs`` observability
+layer, runs a workload with deliberate false sharing, and shows how the
+instrumentation exposes the problem from three angles:
+
+* the cache-coherence histogram table (§3.3.3): a line ping-ponging
+  between writers shows up as a high invalidation count and LI/GI states
+  under write requests;
+* the phase-identifier register: attributes the traffic to the offending
+  code region;
+* transaction traces and probes: the per-segment latency breakdown shows
+  where the extra nanoseconds go, and the FIFO/bus probes show the
+  resulting queueing.
+
+Artifacts (written to the current directory, viewable in Perfetto /
+``python -m repro.obs.report``):
+
+* ``numachine_trace.json`` — Chrome trace-event timeline of every
+  transaction, with probe counter tracks
+* ``numachine_obs.json``   — unified metrics snapshot
 
 Run:  python examples/monitoring.py
 """
 
-from repro import Barrier, Compute, Machine, MachineConfig, Phase, Read, Write
+from repro import (
+    Barrier, Compute, Machine, MachineConfig, Observability, Phase, Read,
+    Write,
+)
 from repro.monitor import Monitor
+from repro.obs import write_snapshot
+from repro.obs.report import render_text
 
 
 def main() -> None:
@@ -20,6 +38,7 @@ def main() -> None:
     machine = Machine(config)
     monitor = Monitor()
     machine.attach_monitor(monitor)
+    obs = Observability(probe_period_ns=500.0).attach(machine)
 
     cpus = tuple(range(config.num_cpus))
     # counters[i] for thread i -- but packed into ONE cache line: false sharing
@@ -62,6 +81,27 @@ def main() -> None:
           "traffic for identical work")
     print()
     print("last 5 trace-memory entries:", monitor.trace.recent(5))
+
+    # ------------------------------------------------------------------
+    # observability layer: traces, probes, unified snapshot
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 70)
+    print("observability snapshot (python -m repro.obs.report renders this"
+          " from the JSON):")
+    print()
+    snap = machine.obs_snapshot()
+    print(render_text(snap, probe_limit=8))
+
+    obs.write_trace("numachine_trace.json")
+    write_snapshot("numachine_obs.json", snap)
+    print()
+    print("wrote numachine_trace.json  (open in https://ui.perfetto.dev)")
+    print("wrote numachine_obs.json    (python -m repro.obs.report"
+          " numachine_obs.json)")
+    tr = obs.tracer.summary()
+    print(f"traced {tr['finished']} transactions"
+          f" ({obs.probes.samples} probe samples)")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ paper's evaluation.
 
 from .cpu import AtomicRMW, Barrier, Compute, Phase, Read, SoftOp, Write
 from .interconnect import Geometry, MsgType, Packet
+from .obs import Observability
 from .sim import DeadlockError, Engine, SimulationError
 from .system import Machine, MachineConfig, RunResult
 
@@ -32,5 +33,6 @@ __all__ = [
     "SimulationError",
     "Machine",
     "MachineConfig",
+    "Observability",
     "RunResult",
 ]

@@ -53,6 +53,7 @@ class NCPending:
     exclusive: bool = False        # for intervention kinds
     orig_pkt: Optional[Packet] = None
     first_issue: int = 0           # tick of the first (non-retry) issue
+    phase: Optional[int] = None    # requester's phase register (§3.3 monitor)
 
 
 class NetworkCache:
@@ -75,6 +76,8 @@ class NetworkCache:
         self._busy = False
         self.stats = StatGroup(f"S{self.station_id}.nc")
         self.monitor = None
+        #: transaction tracer (repro.obs), or None when tracing is off
+        self.tracer = None
         self._tag_ticks = ns_to_ticks(config.nc_tag_ns)
         self._handlers = None  # mtype -> bound handler, built on first dispatch
         # hot-path tick values cached once (see MemoryModule)
@@ -99,6 +102,9 @@ class NetworkCache:
     # serialization plumbing (mirrors the memory module)
     # ==================================================================
     def handle(self, pkt: Packet) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(pkt, "nc.in", self.engine.now)
         self.in_fifo.push(pkt, self.engine.now)
         self._pump()
 
@@ -118,6 +124,9 @@ class NetworkCache:
         )
 
     def _service(self, pkt: Packet) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(pkt, "nc.svc", self.engine.now)
         extra = self._dispatch(pkt)
         self.engine.schedule(extra or 0, self._service_done)
 
@@ -231,13 +240,15 @@ class NetworkCache:
         self._count_resolution(pkt, hit=False, line=line, cpu=cpu)
         line.locked = True
         line.pending = NCPending(
-            kind="fetch", op=op, cpu=cpu, first_issue=self.engine.now
+            kind="fetch", op=op, cpu=cpu, first_issue=self.engine.now,
+            phase=pkt.meta.get("phase"),
         )
         if pkt.meta.get("prefetch"):
             line.pending.cpu = None
             line.pending.op = MsgType.READ
         self._send_home(line.addr, op if op is not MsgType.SPECIAL_READ else op,
-                        cpu, retry=False, prefetch=bool(pkt.meta.get("prefetch")))
+                        cpu, retry=False, prefetch=bool(pkt.meta.get("prefetch")),
+                        phase=line.pending.phase)
         return 0
 
     def _serve_hit(self, line: NCLine, cpu: int, exclusive: bool) -> int:
@@ -372,9 +383,8 @@ class NetworkCache:
                 p.retries += 1
                 self.engine.schedule(
                     self._retry_ticks,
-                    lambda a=pkt.addr, c=pkt.requester, o=p.op: self._send_home(
-                        a, o, c, retry=True
-                    ),
+                    lambda a=pkt.addr, c=pkt.requester, o=p.op, ph=p.phase:
+                        self._send_home(a, o, c, retry=True, phase=ph),
                 )
             return 0
         line = self.array.probe(pkt.addr)
@@ -395,7 +405,7 @@ class NetworkCache:
         if p is None or p.kind != "fetch":
             return
         self._send_home(line.addr, p.op, p.cpu, retry=True,
-                        prefetch=(p.cpu is None))
+                        prefetch=(p.cpu is None), phase=p.phase)
 
     def _on_invalidate(self, pkt: Packet) -> int:
         line = self.array.probe(pkt.addr) if self.enabled else None
@@ -701,7 +711,8 @@ class NetworkCache:
             self.stats.counter("special_reads").incr()
             p.op = MsgType.SPECIAL_READ
             p.inv_arrived = False
-            self._send_home(line.addr, MsgType.SPECIAL_READ, p.cpu, retry=False)
+            self._send_home(line.addr, MsgType.SPECIAL_READ, p.cpu,
+                            retry=False, phase=p.phase)
             return
 
     # ==================================================================
@@ -717,9 +728,10 @@ class NetworkCache:
             self._nack_cpu(cpu, pkt.addr)
             return 0
         p = NCPending(kind="fetch", op=pkt.mtype, cpu=cpu,
-                      first_issue=self.engine.now)
+                      first_issue=self.engine.now,
+                      phase=pkt.meta.get("phase"))
         self._bypass_pending[key] = p
-        self._send_home(pkt.addr, pkt.mtype, cpu, retry=False)
+        self._send_home(pkt.addr, pkt.mtype, cpu, retry=False, phase=p.phase)
         return 0
 
     def _bypass_on_data(self, pkt: Packet) -> int:
@@ -763,9 +775,11 @@ class NetworkCache:
                 self._grant_cpu(p.cpu, key[0], None, exclusive=True)
             else:
                 self.stats.counter("special_reads").incr()
-                p2 = NCPending(kind="fetch", op=MsgType.SPECIAL_READ, cpu=p.cpu)
+                p2 = NCPending(kind="fetch", op=MsgType.SPECIAL_READ,
+                               cpu=p.cpu, phase=p.phase)
                 self._bypass_pending[key] = p2
-                self._send_home(key[0], MsgType.SPECIAL_READ, p.cpu, retry=False)
+                self._send_home(key[0], MsgType.SPECIAL_READ, p.cpu,
+                                retry=False, phase=p.phase)
             return
         else:
             if p.data is None:
@@ -911,15 +925,20 @@ class NetworkCache:
 
     def _send_home(
         self, addr: int, op: MsgType, cpu: Optional[int], retry: bool,
-        prefetch: bool = False,
+        prefetch: bool = False, phase: Optional[int] = None,
     ) -> None:
         home = self.config.home_station(addr)
+        meta = {"retry": retry, "prefetch": prefetch}
+        if phase is not None:
+            # the requester's phase identifier travels with the transaction
+            # so the home station's monitor can attribute it (§3.3)
+            meta["phase"] = phase
         req = Packet(
             mtype=op, addr=addr,
             src_station=self.station_id,
             dest_mask=self.codec.station_mask(home),
             requester=cpu,
-            meta={"retry": retry, "prefetch": prefetch},
+            meta=meta,
         )
         self._send_packet(req, has_data=False)
 

@@ -59,6 +59,8 @@ class Processor:
         self.on_interrupt: Optional[Callable[[int], None]] = None
         #: per-page software caching attributes accessor (set by Machine)
         self.page_attrs: Optional[Callable[[int], object]] = None
+        #: transaction tracer (repro.obs), or None when tracing is off
+        self.tracer = None
         # timing in ticks
         self._cpu = config.cpu_cycle_ticks
         self._l1_hit = config.l1_hit_cpu_cycles * self._cpu
@@ -234,6 +236,9 @@ class Processor:
         if ctr is None:
             ctr = self._miss_ctrs[kind] = self.stats.counter(f"{kind}_misses")
         ctr.value += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.begin(self.cpu_id, kind, la, self.engine.now)
         self.engine.schedule(self._miss_detect, self._send_request)
 
     def _send_request(self) -> None:
@@ -267,6 +272,9 @@ class Processor:
             meta={"local": True, "retry": p["tries"] > 0, "phase": self.phase},
         )
         target = self.station.module_for(la)
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp(self.cpu_id, "cpu.send", self.engine.now)
         self.station.bus.request(
             self._cmd_ticks, lambda start, t=target, k=pkt: t.handle(k)
         )
@@ -275,6 +283,10 @@ class Processor:
         """The miss resolved while queued (e.g. a fill raced ahead)."""
         p = self._pending
         self._pending = None
+        tr = self.tracer
+        if tr is not None:
+            # no network transaction and no latency sample: drop the trace
+            tr.abandon(self.cpu_id)
         la, addr = p["la"], p["addr"]
         line = self.l2.lookup(la)
         idx = self._word_index(addr)
@@ -330,6 +342,11 @@ class Processor:
         self.stats.accumulator(f"{p['kind']}_latency").add(
             self.engine.now + restart - self._request_start
         )
+        tr = self.tracer
+        if tr is not None:
+            # closed at the same instant the latency accumulator samples, so
+            # a trace's span-chain total equals the recorded latency exactly
+            tr.finish(self.cpu_id, self.engine.now + restart)
         self.engine.schedule(restart, self._step)
 
     def _install(self, la: int, data: List, exclusive: bool) -> None:
@@ -417,6 +434,9 @@ class Processor:
             return
         p["tries"] += 1
         self.stats.counter("retries").incr()
+        tr = self.tracer
+        if tr is not None:
+            tr.retry(self.cpu_id, self.engine.now)
         self.engine.schedule(self._retry, self._send_request)
 
     # ------------------------------------------------------------------

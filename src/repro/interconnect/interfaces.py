@@ -64,6 +64,7 @@ class StationRingInterface:
         "_handler_busy",
         "_drain_busy",
         "stats",
+        "tracer",
     )
 
     def __init__(
@@ -110,6 +111,8 @@ class StationRingInterface:
         self._handler_busy = False
         self._drain_busy = False
         self.stats = StatGroup(f"S{station_id}.ri")
+        #: transaction tracer (repro.obs), or None when tracing is off
+        self.tracer = None
         engine.blocked_watchers.append(self._blocked_reason)
 
     # ------------------------------------------------------------------
@@ -119,6 +122,9 @@ class StationRingInterface:
         """Inject a message from this station into the network."""
         if packet.born < 0:
             packet.born = self.engine.now
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(packet, "ri.send", self.engine.now)
         if not packet.sinkable:
             if self._nonsink_credits == 0:
                 self._pending_out.append(packet)
@@ -175,6 +181,9 @@ class StationRingInterface:
         self.stats.accumulator("send_delay").add(
             start - packet.meta.pop("_send_enq", start)
         )
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(packet, "ring.inject", start)
         done = start + packet.flits * self.ring.slot_ticks
         self.engine.schedule_at(done, self._out_done)
 
@@ -235,6 +244,9 @@ class StationRingInterface:
             return
         packet.meta.pop("_tail_done", None)
         packet.meta["_arr"] = self.engine.now
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(packet, "ri.arrive", self.engine.now)
         self.in_fifo.push(packet, self.engine.now)
         if self.in_fifo.pressured:
             self.ring.halt_link(self.pos, self.ring.slot_ticks * 4)
@@ -278,6 +290,9 @@ class StationRingInterface:
     def _bus_done(self, packet: Packet, kind: str) -> None:
         arr = packet.meta.pop("_arr", self.engine.now)
         self.stats.accumulator(f"down_delay_{kind}").add(self.engine.now - arr)
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(packet, "ri.deliver", self.engine.now)
         self._drain_busy = False
         if not packet.sinkable:
             credit_home = packet.meta.pop("_credit_home", None)
@@ -315,6 +330,7 @@ class InterRingInterface:
         "_up_busy",
         "_down_busy",
         "stats",
+        "tracer",
     )
 
     def __init__(
@@ -345,6 +361,8 @@ class InterRingInterface:
         self._up_busy = False
         self._down_busy = False
         self.stats = StatGroup(name)
+        #: transaction tracer (repro.obs), or None when tracing is off
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def ring_arrival(self, ring: Ring, packet: Packet) -> None:
@@ -374,6 +392,9 @@ class InterRingInterface:
         self.child.forward(self.child_pos, packet)
 
     def _enqueue_up(self, packet: Packet) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(packet, "iri.up_enq", self.engine.now)
         packet.meta["_up_enq"] = self.engine.now
         self.up_fifo.push(packet, self.engine.now)
         if self.up_fifo.pressured:
@@ -402,6 +423,9 @@ class InterRingInterface:
         self.stats.accumulator("up_delay").add(
             start - packet.meta.pop("_up_enq", start)
         )
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(packet, "iri.up_inject", start)
         done = start + packet.flits * self.parent.slot_ticks
         self.engine.schedule_at(done, self._up_done)
 
@@ -452,6 +476,9 @@ class InterRingInterface:
         packet.dest_mask = self.codec.clear_upper(packet.dest_mask, self.parent.level)
         packet.meta["state"] = DELIVER
         packet.meta["_down_enq"] = self.engine.now
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(packet, "iri.down_enq", self.engine.now)
         self.down_fifo.push(packet, self.engine.now)
         if self.down_fifo.pressured:
             self.parent.halt_link(self.parent_pos, self.parent.slot_ticks * 4)
@@ -469,6 +496,9 @@ class InterRingInterface:
         self.stats.accumulator("down_delay").add(
             start - packet.meta.pop("_down_enq", start)
         )
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(packet, "iri.down_inject", start)
         done = start + packet.flits * self.child.slot_ticks
         self.engine.schedule_at(done, self._down_done)
 

@@ -70,6 +70,8 @@ class MemoryModule:
         self.stats = StatGroup(f"S{self.station_id}.mem")
         #: optional monitor (histogram tables etc.); see repro.monitor
         self.monitor = None
+        #: transaction tracer (repro.obs), or None when tracing is off
+        self.tracer = None
         self._lookup_ticks = ns_to_ticks(config.dir_sram_ns)
         self._handlers = None  # mtype -> bound handler, built on first dispatch
         # hot-path tick values cached once (config properties recompute
@@ -101,6 +103,9 @@ class MemoryModule:
     # ==================================================================
     def handle(self, pkt: Packet) -> None:
         """Entry for both bus-side and ring-side traffic."""
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(pkt, "mem.in", self.engine.now)
         self.in_fifo.push(pkt, self.engine.now)
         self._pump()
 
@@ -120,6 +125,9 @@ class MemoryModule:
         )
 
     def _service(self, pkt: Packet) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.stamp_pkt(pkt, "mem.svc", self.engine.now)
         extra = self._dispatch(pkt)
         self.engine.schedule(extra or 0, self._service_done)
 

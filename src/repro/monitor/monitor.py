@@ -87,6 +87,12 @@ class Monitor:
         else:
             state = line.state.value + ("*" if line.locked else "")
         self.nc_histogram.record(state, pkt.mtype.name)
+        # same originator / phase attribution as memory transactions: the
+        # monitoring PLDs watch the NC's bus port with identical tables
+        self.originator_table.record(pkt.mtype.name, pkt.requester)
+        phase = pkt.meta.get("phase")
+        if phase is not None:
+            self.phase_table.record(pkt.mtype.name, phase)
         self.trace.record(("nc", station_id, pkt.mtype.name, pkt.addr, pkt.requester))
 
     # ------------------------------------------------------------------
@@ -95,5 +101,9 @@ class Monitor:
             self.coherence_histogram.render(),
             "",
             self.nc_histogram.render(),
+            "",
+            self.originator_table.render(),
+            "",
+            self.phase_table.render(),
         ]
         return "\n".join(parts)

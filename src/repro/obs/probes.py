@@ -1,0 +1,156 @@
+"""Time-series probes — the paper's FIFO-depth monitoring as a series.
+
+§3.3 lists "FIFO depth monitoring" and per-resource utilization among the
+fixed monitoring circuits; the seed simulator only kept end-of-run
+aggregates (``max_depth``, total busy ticks).  A :class:`ProbeSet` samples
+live gauges (queue depths, NC occupancy) and rate probes (busy-tick deltas
+per interval = utilization) on a configurable tick period into bounded
+ring buffers, so *when* a queue filled up is visible, not just how deep it
+ever got.
+
+Sampling rides the event engine: the probe tick is an ordinary scheduled
+event that re-arms itself only while other events remain queued, so a run
+still terminates when the machine goes quiescent and an un-probed machine
+schedules nothing at all.  Probe callbacks read simulator state but never
+mutate it, which keeps probed runs bit-identical to unprobed ones in
+simulated time and event *order* (only the sampling events themselves are
+added to the event count).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import ns_to_ticks
+
+
+class _Gauge:
+    """Instantaneous value probe (queue depth, occupancy)."""
+
+    __slots__ = ("name", "unit", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float], unit: str) -> None:
+        self.name = name
+        self.fn = fn
+        self.unit = unit
+
+    def prime(self) -> None:
+        pass
+
+    def sample(self, dt: int) -> float:
+        return self.fn()
+
+
+class _Rate:
+    """Cumulative-counter delta probe: ``(total - prev) / (dt * scale)``.
+
+    With ``fn`` returning busy ticks and ``scale`` the number of parallel
+    links, the sample is the resource's utilization over the interval.
+    """
+
+    __slots__ = ("name", "unit", "fn", "scale", "_prev")
+
+    def __init__(self, name: str, fn: Callable[[], float], scale: float, unit: str) -> None:
+        self.name = name
+        self.fn = fn
+        self.scale = scale
+        self.unit = unit
+        self._prev = 0.0
+
+    def prime(self) -> None:
+        self._prev = self.fn()
+
+    def sample(self, dt: int) -> float:
+        cur = self.fn()
+        prev, self._prev = self._prev, cur
+        if dt <= 0:
+            return 0.0
+        return (cur - prev) / (dt * self.scale)
+
+
+class ProbeSet:
+    """A machine's sampled time series, all on one tick period."""
+
+    def __init__(self, period_ns: float = 2000.0, capacity: int = 4096) -> None:
+        self.period_ticks = max(1, ns_to_ticks(period_ns))
+        self.capacity = capacity
+        self.probes: List = []
+        self._series: Dict[str, deque] = {}
+        self._engine = None
+        self._armed = False
+        self._last = 0
+        self.samples = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add_gauge(self, name: str, fn: Callable[[], float], unit: str = "") -> None:
+        self._register(_Gauge(name, fn, unit))
+
+    def add_rate(
+        self, name: str, fn: Callable[[], float], scale: float = 1.0,
+        unit: str = "util",
+    ) -> None:
+        self._register(_Rate(name, fn, scale, unit))
+
+    def _register(self, probe) -> None:
+        if probe.name in self._series:
+            raise ValueError(f"duplicate probe {probe.name!r}")
+        self.probes.append(probe)
+        self._series[probe.name] = deque(maxlen=self.capacity)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def arm(self, engine) -> None:
+        """Start (or restart) periodic sampling on ``engine``.
+
+        Called by :meth:`Machine.run` each time a run begins; idempotent
+        while a sampling chain is already in flight.
+        """
+        self._engine = engine
+        if self._armed or not self.probes:
+            return
+        self._armed = True
+        self._last = engine.now
+        for probe in self.probes:
+            probe.prime()
+        engine.schedule(self.period_ticks, self._tick)
+
+    def _tick(self) -> None:
+        engine = self._engine
+        now = engine.now
+        dt = now - self._last
+        self._last = now
+        for probe in self.probes:
+            self._series[probe.name].append((now, probe.sample(dt)))
+        self.samples += 1
+        # Re-arm only while the machine still has work: the sampler must
+        # not keep an otherwise-drained event queue alive forever.
+        if engine.pending:
+            engine.schedule(self.period_ticks, self._tick)
+        else:
+            self._armed = False
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def series(self) -> Dict[str, dict]:
+        """``{name: {"unit", "period_ticks", "t": [...], "v": [...]}}``."""
+        out: Dict[str, dict] = {}
+        for probe in self.probes:
+            buf = self._series[probe.name]
+            out[probe.name] = {
+                "unit": probe.unit,
+                "period_ticks": self.period_ticks,
+                "t": [t for t, _v in buf],
+                "v": [v for _t, v in buf],
+            }
+        return out
+
+    def last(self, name: str) -> Optional[float]:
+        buf = self._series.get(name)
+        if not buf:
+            return None
+        return buf[-1][1]

@@ -1,0 +1,297 @@
+"""Transaction tracing — the lifecycle of every cache-miss request.
+
+The paper's monitoring hardware (§3.3) can watch any bus or ring in the
+machine, but it sees each resource in isolation.  The tracer stitches the
+per-resource observations back into *transactions*: each CPU request that
+misses its secondary cache gets a trace id, and every hop it (or any packet
+acting on its behalf — interventions, invalidations, data responses) takes
+through the machine appends a timestamped *stamp*.  Spans are the intervals
+between consecutive stamps, so a finished transaction's span chain is
+contiguous by construction and its total equals exactly the latency the
+processor's ``<kind>_latency`` accumulator records (issue to restart, the
+definition :mod:`repro.analysis.latency` uses).
+
+Keying works because the R4400 processor model is blocking: a CPU has at
+most one outstanding request, so ``(requester cpu id)`` — which every
+packet already carries — uniquely names the transaction.  No trace state
+rides in packets and nothing changes on the hot paths when tracing is off:
+every instrumentation site is a ``tracer is not None`` check against an
+attribute that defaults to ``None``.
+
+Export is Chrome trace-event JSON (the ``traceEvents`` array form), which
+Perfetto and ``chrome://tracing`` open directly: one track per CPU with a
+complete ("X") slice per transaction and nested child slices per span.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.engine import TICKS_PER_NS
+
+#: engine ticks per Chrome trace-event microsecond
+_TICKS_PER_US = TICKS_PER_NS * 1000.0
+
+
+class TxnTrace:
+    """One traced transaction: a CPU request from issue to restart."""
+
+    __slots__ = ("tid", "cpu", "kind", "addr", "begin", "end", "stamps", "retries")
+
+    def __init__(self, tid: int, cpu: int, kind: str, addr: int, begin: int) -> None:
+        self.tid = tid
+        self.cpu = cpu
+        self.kind = kind                    # 'read' | 'write' | 'rmw'
+        self.addr = addr                    # line address
+        self.begin = begin                  # tick of issue (= _request_start)
+        self.end: Optional[int] = None      # tick of processor restart
+        #: (tick, label) checkpoints, in recording order
+        self.stamps: List[Tuple[int, str]] = [(begin, "issue")]
+        self.retries = 0
+
+    @property
+    def duration(self) -> int:
+        return (self.end if self.end is not None else self.stamps[-1][0]) - self.begin
+
+    def spans(self) -> List[Tuple[str, int, int]]:
+        """Contiguous ``(label, t0, t1)`` intervals tiling [begin, end].
+
+        Stamps are sorted by time first: multicast branches (e.g. the copies
+        of an ordered invalidation) stamp concurrently, and a stamp taken at
+        a reserved future slot time can precede an earlier-resource stamp in
+        recording order.  Each interval is attributed to the label of the
+        stamp that *ends* it — "what the transaction was waiting for".
+        """
+        stamps = sorted(self.stamps)
+        out: List[Tuple[str, int, int]] = []
+        for (t0, _l0), (t1, l1) in zip(stamps, stamps[1:]):
+            if t1 > t0:
+                out.append((l1, t0, t1))
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "tid": self.tid,
+            "cpu": self.cpu,
+            "kind": self.kind,
+            "addr": self.addr,
+            "begin": self.begin,
+            "end": self.end,
+            "retries": self.retries,
+            "spans": [[label, t0, t1] for label, t0, t1 in self.spans()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TxnTrace(#{self.tid} P{self.cpu} {self.kind} {self.addr:#x} "
+            f"{self.begin}..{self.end} {len(self.stamps)} stamps)"
+        )
+
+
+class Tracer:
+    """Machine-wide transaction tracer.
+
+    Components hold a reference to the machine's tracer (or ``None``) and
+    call :meth:`begin` / :meth:`stamp` / :meth:`stamp_pkt` / :meth:`finish`
+    at the hops described in the module docstring.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        #: bound on retained finished transactions (None = unbounded)
+        self.capacity = capacity
+        self.active: Dict[int, TxnTrace] = {}       # cpu id -> in-flight trace
+        self.finished: List[TxnTrace] = []
+        self.dropped = 0
+        self.abandoned = 0
+        self._next_tid = 1
+
+    # ------------------------------------------------------------------
+    # recording (called from instrumented components)
+    # ------------------------------------------------------------------
+    def begin(self, cpu: int, kind: str, line_addr: int, now: int) -> TxnTrace:
+        rec = TxnTrace(self._next_tid, cpu, kind, line_addr, now)
+        self._next_tid += 1
+        self.active[cpu] = rec
+        return rec
+
+    def stamp(self, cpu: int, label: str, t: int) -> None:
+        """Checkpoint the active transaction of ``cpu`` (no packet in hand)."""
+        rec = self.active.get(cpu)
+        if rec is not None:
+            rec.stamps.append((t, label))
+
+    def stamp_pkt(self, pkt, label: str, t: int) -> None:
+        """Checkpoint via a packet: attributed to the requester's active
+        transaction, only if the packet concerns the same cache line."""
+        cpu = pkt.requester
+        if cpu is None:
+            return
+        rec = self.active.get(cpu)
+        if rec is not None and rec.addr == pkt.addr:
+            rec.stamps.append((t, label))
+
+    def retry(self, cpu: int, t: int) -> None:
+        rec = self.active.get(cpu)
+        if rec is not None:
+            rec.retries += 1
+            rec.stamps.append((t, "nack"))
+
+    def finish(self, cpu: int, t_end: int) -> None:
+        """The processor restarts at ``t_end``; close the transaction."""
+        rec = self.active.pop(cpu, None)
+        if rec is None:
+            return
+        rec.end = t_end
+        rec.stamps.append((t_end, "restart"))
+        if self.capacity is not None and len(self.finished) >= self.capacity:
+            self.dropped += 1
+            return
+        self.finished.append(rec)
+
+    def abandon(self, cpu: int) -> None:
+        """The request resolved without network traffic (e.g. a racing fill
+        arrived while it was queued); it records no latency sample, so it
+        keeps no trace either."""
+        if self.active.pop(cpu, None) is not None:
+            self.abandoned += 1
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def breakdown(self) -> Dict[str, Dict[str, Any]]:
+        """Per-kind, per-segment latency totals over finished transactions.
+
+        Returns ``{kind: {"count": n, "total_ticks": T,
+        "segments": {label: {"count": c, "ticks": t}}}}``.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for rec in self.finished:
+            agg = out.get(rec.kind)
+            if agg is None:
+                agg = out[rec.kind] = {"count": 0, "total_ticks": 0, "segments": {}}
+            agg["count"] += 1
+            agg["total_ticks"] += rec.duration
+            segs = agg["segments"]
+            for label, t0, t1 in rec.spans():
+                s = segs.get(label)
+                if s is None:
+                    s = segs[label] = {"count": 0, "ticks": 0}
+                s["count"] += 1
+                s["ticks"] += t1 - t0
+        return out
+
+    def summary(self) -> dict:
+        return {
+            "finished": len(self.finished),
+            "active": len(self.active),
+            "dropped": self.dropped,
+            "abandoned": self.abandoned,
+            "breakdown": self.breakdown(),
+        }
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event export
+    # ------------------------------------------------------------------
+    def chrome_events(self) -> List[dict]:
+        """The transactions as Chrome trace-event dicts (``ph: X`` slices).
+
+        One process ("transactions"), one thread per CPU.  Each transaction
+        is an enclosing slice with its contiguous spans as nested child
+        slices, so Perfetto shows the latency breakdown visually.
+        """
+        events: List[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "transactions"},
+            }
+        ]
+        cpus = sorted({rec.cpu for rec in self.finished})
+        for cpu in cpus:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": cpu,
+                    "args": {"name": f"P{cpu}"},
+                }
+            )
+        for rec in self.finished:
+            ts = rec.begin / _TICKS_PER_US
+            dur = rec.duration / _TICKS_PER_US
+            events.append(
+                {
+                    "name": f"{rec.kind} {rec.addr:#x}",
+                    "cat": "txn",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": dur,
+                    "pid": 1,
+                    "tid": rec.cpu,
+                    "args": {
+                        "trace_id": rec.tid,
+                        "addr": f"{rec.addr:#x}",
+                        "retries": rec.retries,
+                    },
+                }
+            )
+            for label, t0, t1 in rec.spans():
+                events.append(
+                    {
+                        "name": label,
+                        "cat": "span",
+                        "ph": "X",
+                        "ts": t0 / _TICKS_PER_US,
+                        "dur": (t1 - t0) / _TICKS_PER_US,
+                        "pid": 1,
+                        "tid": rec.cpu,
+                        "args": {"trace_id": rec.tid},
+                    }
+                )
+        return events
+
+
+def chrome_trace(tracer: Optional[Tracer], probes=None) -> dict:
+    """Assemble the full Chrome trace-event JSON document.
+
+    ``probes`` (a :class:`repro.obs.probes.ProbeSet`) contributes counter
+    ("C") events so FIFO depths and utilizations render as Perfetto counter
+    tracks alongside the transaction slices.
+    """
+    events: List[dict] = []
+    if tracer is not None:
+        events.extend(tracer.chrome_events())
+    if probes is not None:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 2,
+                "tid": 0,
+                "args": {"name": "probes"},
+            }
+        )
+        for name, series in probes.series().items():
+            for t, v in zip(series["t"], series["v"]):
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": t / _TICKS_PER_US,
+                        "pid": 2,
+                        "tid": 0,
+                        "args": {"value": v},
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(path, tracer: Optional[Tracer], probes=None) -> None:
+    """Write the Perfetto-loadable trace JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer, probes), fh)
+        fh.write("\n")

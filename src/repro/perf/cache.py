@@ -30,7 +30,7 @@ from typing import Optional
 from .record import RunRecord
 
 #: bump when the RunRecord layout or key derivation changes
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 
 def _repro_version() -> str:

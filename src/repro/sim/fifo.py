@@ -45,6 +45,8 @@ class Fifo:
         "wait_time",
         "pushes",
         "stalls",
+        "_depth_area",
+        "_last_change",
     )
 
     def __init__(
@@ -64,6 +66,10 @@ class Fifo:
         self.wait_time = Accumulator(f"{name}.wait")
         self.pushes = Counter(f"{name}.pushes")
         self.stalls = Counter(f"{name}.stalls")
+        # time-weighted occupancy: integral of depth over time, advanced at
+        # every mutation so mean_depth(now) is exact at any instant
+        self._depth_area = 0
+        self._last_change = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -86,6 +92,8 @@ class Fifo:
         items = self._items
         if self.capacity is not None and len(items) >= self.capacity:
             raise FifoFullError(f"{self.name} overflow (capacity={self.capacity})")
+        self._depth_area += len(items) * (now - self._last_change)
+        self._last_change = now
         items.append((item, now))
         self.pushes.value += 1
         depth = len(items)
@@ -96,6 +104,8 @@ class Fifo:
         return self._items[0][0]
 
     def pop(self, now: int) -> Any:
+        self._depth_area += len(self._items) * (now - self._last_change)
+        self._last_change = now
         item, enq = self._items.popleft()
         # Accumulator.add inlined: pop is on every packet's path
         wt = self.wait_time
@@ -116,6 +126,26 @@ class Fifo:
         """Invoke ``callback`` after the next pop frees an entry."""
         self._on_space.append(callback)
         self.stalls.incr()
+
+    def mean_depth(self, now: int) -> float:
+        """Time-weighted mean occupancy over [0, now]."""
+        if now <= 0:
+            return float(len(self._items))
+        area = self._depth_area + len(self._items) * (now - self._last_change)
+        return area / now
+
+    def stats_snapshot(self, now: int) -> dict:
+        """Flat occupancy/wait statistics for the metrics registry."""
+        return {
+            "depth": len(self._items),
+            "capacity": self.capacity,
+            "max_depth": self.max_depth,
+            "mean_depth": self.mean_depth(now),
+            "pushes": self.pushes.value,
+            "stalls": self.stalls.value,
+            "wait_mean_ticks": self.wait_time.mean,
+            "wait_count": self.wait_time.count,
+        }
 
     def drain(self) -> List[Any]:
         """Remove and return all items (no wait-time accounting); test helper."""

@@ -82,6 +82,7 @@ class Machine:
         for cpu in self.cpus:
             cpu.page_attrs = self.memory_map.attrs_for
         self.monitor = None  # set via attach_monitor()
+        self.obs = None  # set via attach_observability()
 
     # ------------------------------------------------------------------
     # memory allocation
@@ -105,6 +106,18 @@ class Machine:
             st.memory.monitor = monitor
             st.nc.monitor = monitor
 
+    def attach_observability(self, obs) -> None:
+        """Install a :class:`repro.obs.Observability` layer (transaction
+        tracer + time-series probes) across all components."""
+        obs.attach(self)
+
+    def obs_snapshot(self, include_wall: bool = True) -> dict:
+        """The unified metrics snapshot (see :mod:`repro.obs.registry`);
+        works with or without an attached observability layer."""
+        from ..obs.registry import snapshot
+
+        return snapshot(self, include_wall=include_wall)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -122,6 +135,8 @@ class Machine:
         """
         for cpu_id, program in programs.items():
             self.cpus[cpu_id].set_program(program)
+        if self.obs is not None:
+            self.obs.arm()
         until = ns_to_ticks(until_ns) if until_ns is not None else None
         start_events = self.engine.events_run
         while True:

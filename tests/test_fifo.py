@@ -67,6 +67,42 @@ def test_unbounded_fifo_never_full():
     assert not f.pressured
 
 
+def test_mean_depth_time_weighted():
+    f = Fifo("t")
+    # depth 0 over [0,10), depth 1 over [10,30), depth 2 over [30,40),
+    # depth 1 over [40,100): area = 0 + 20 + 20 + 60 = 100
+    f.push("a", now=10)
+    f.push("b", now=30)
+    f.pop(now=40)
+    assert f.mean_depth(100) == pytest.approx(1.0)
+    # a deeper interval moves the mean even after it ends
+    assert f.mean_depth(40) == pytest.approx(40 / 40)
+
+
+def test_mean_depth_at_time_zero():
+    f = Fifo("t")
+    assert f.mean_depth(0) == 0.0
+    f.push("a", 0)
+    assert f.mean_depth(0) == 1.0
+
+
+def test_stats_snapshot_contents():
+    f = Fifo("t", capacity=8)
+    f.push("a", now=0)
+    f.push("b", now=10)
+    f.pop(now=20)
+    snap = f.stats_snapshot(now=20)
+    assert snap["depth"] == 1
+    assert snap["capacity"] == 8
+    assert snap["max_depth"] == 2
+    assert snap["pushes"] == 2
+    assert snap["stalls"] == 0
+    assert snap["wait_count"] == 1
+    assert snap["wait_mean_ticks"] == 20
+    # area: 1*[0,10) + 2*[10,20) = 30 -> mean 1.5
+    assert snap["mean_depth"] == pytest.approx(1.5)
+
+
 def test_drain():
     f = Fifo("t")
     for i in range(4):

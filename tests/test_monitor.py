@@ -94,6 +94,44 @@ def test_monitor_phase_attribution():
     assert mon.phase_table.total(col=2) == 1
 
 
+def test_nc_txns_feed_originator_and_phase_tables():
+    """NC transactions must attribute originator and phase exactly like
+    memory transactions do (§3.3 parity fix)."""
+    m = Machine(small_config())
+    mon = Monitor()
+    m.attach_monitor(mon)
+    remote = m.allocate(4096, placement="local:1")
+
+    def prog():
+        yield Phase(7)
+        yield Read(remote.addr(0))
+
+    m.run({0: prog()})
+    assert mon.nc_histogram.total() >= 1
+    # the remote read passed through S0's NC; cpu 0 must appear as its
+    # originator and phase 7 must be attributed
+    assert mon.originator_table.total(col=0) >= 2  # memory + NC records
+    assert mon.phase_table.total(col=7) >= 2
+
+
+def test_monitor_report_includes_all_tables():
+    m = Machine(small_config())
+    mon = Monitor()
+    m.attach_monitor(mon)
+    remote = m.allocate(4096, placement="local:1")
+
+    def prog():
+        yield Phase(3)
+        yield Write(remote.addr(0), 1)
+
+    m.run({0: prog()})
+    text = mon.report()
+    assert "mem state x txn" in text
+    assert "nc state x txn" in text
+    assert "txn x originator" in text
+    assert "txn x phase" in text
+
+
 def test_monitor_locked_states_distinguished():
     """The §3.3.3 table has locked variants of each state; contention on a
     line must record at least one '*' row."""

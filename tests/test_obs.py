@@ -1,0 +1,348 @@
+"""Tests for the observability layer (repro.obs): transaction tracing,
+time-series probes, the unified metrics snapshot, and the report CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Machine, MachineConfig, Observability, Read, Write
+from repro.monitor import Monitor
+from repro.obs import snapshot, to_prometheus
+from repro.obs.report import main as report_main, sparkline
+from repro.perf import collect_record
+from repro.workloads.synthetic import HotSpot
+
+from conftest import small_config, tiny_config
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _observed_tiny_run(**obs_kwargs):
+    """Deterministic 2-station run with remote reads, writes and upgrades."""
+    machine = Machine(tiny_config())
+    obs = Observability(**obs_kwargs).attach(machine)
+    remote = machine.allocate(2048, placement="local:1")
+    local = machine.allocate(2048, placement="local:0")
+
+    def prog(cpu_id, region, other):
+        def gen():
+            for i in range(12):
+                v = yield Read(region.addr((i * 8) % 1024))
+                yield Write(region.addr((i * 8) % 1024), (v or 0) + 1)
+                yield Read(other.addr((i * 8) % 1024))
+        return gen()
+
+    machine.run({0: prog(0, remote, local), 1: prog(1, local, remote)})
+    return machine, obs
+
+
+def _observed_contended_run():
+    """8 CPUs hammering one line: guarantees NACKs and retries."""
+    machine = Machine(small_config())
+    obs = Observability().attach(machine)
+    r = machine.allocate(64, placement="local:2")
+
+    def prog(cid):
+        def gen():
+            for i in range(4):
+                yield Write(r.addr(0), cid * 10 + i)
+        return gen()
+
+    machine.run({c: prog(c) for c in range(len(machine.cpus))})
+    return machine, obs
+
+
+# ----------------------------------------------------------------------
+# transaction tracing
+# ----------------------------------------------------------------------
+def test_trace_span_chain_contiguous_and_total_equals_latency():
+    machine, obs = _observed_tiny_run()
+    tr = obs.tracer
+    assert tr.finished, "no transactions traced"
+    assert not tr.active, "traces left open after the run drained"
+    for rec in tr.finished:
+        spans = rec.spans()
+        assert spans, rec
+        # contiguous chain tiling [begin, end]
+        assert spans[0][1] == rec.begin
+        assert spans[-1][2] == rec.end
+        for (_l1, _a, b), (_l2, c, _d) in zip(spans, spans[1:]):
+            assert b == c, f"gap in span chain of {rec!r}"
+        assert sum(t1 - t0 for _l, t0, t1 in spans) == rec.duration
+
+    # the sum of trace durations per (cpu, kind) equals exactly what the
+    # processor's latency accumulators recorded (what analysis.latency reads)
+    for cpu in machine.cpus:
+        for kind in ("read", "write", "rmw"):
+            recs = [r for r in tr.finished
+                    if r.cpu == cpu.cpu_id and r.kind == kind]
+            acc = cpu.stats.accumulators.get(f"{kind}_latency")
+            assert len(recs) == (acc.count if acc else 0)
+            assert sum(r.duration for r in recs) == (acc.total if acc else 0)
+
+
+def test_remote_transactions_cross_the_network():
+    _machine, obs = _observed_tiny_run()
+    labels = {l for rec in obs.tracer.finished for _t, l in rec.stamps}
+    # remote misses must show the full pipeline, not just issue/restart
+    for expected in ("cpu.send", "ri.send", "ring.inject", "ri.arrive",
+                     "ri.deliver", "mem.in", "mem.svc", "nc.in", "nc.svc"):
+        assert expected in labels, f"{expected} never stamped ({sorted(labels)})"
+
+
+def test_contention_records_retries_and_nack_stamps():
+    _machine, obs = _observed_contended_run()
+    retried = [r for r in obs.tracer.finished if r.retries]
+    assert retried, "contended run produced no NACK/retry traces"
+    for rec in retried:
+        assert any(l == "nack" for _t, l in rec.stamps)
+
+
+def test_tracer_capacity_bounds_retained_traces():
+    _machine, obs = _observed_tiny_run(trace_capacity=5)
+    tr = obs.tracer
+    assert len(tr.finished) == 5
+    assert tr.dropped > 0
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def test_chrome_trace_schema_and_span_nesting():
+    _machine, obs = _observed_tiny_run()
+    doc = obs.chrome_trace()
+    # valid trace-event JSON document
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    json.loads(json.dumps(doc))  # round-trips
+    parents = {}
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in ("X", "M", "C")
+        if ev["ph"] == "X":
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+            assert isinstance(ev["name"], str)
+            assert "pid" in ev and "tid" in ev
+            if ev.get("cat") == "txn":
+                parents[ev["args"]["trace_id"]] = (ev["ts"], ev["ts"] + ev["dur"])
+    assert parents, "no transaction slices exported"
+    # every span slice nests inside its transaction's slice
+    eps = 1e-6
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "X" and ev.get("cat") == "span":
+            t0, t1 = parents[ev["args"]["trace_id"]]
+            assert ev["ts"] >= t0 - eps
+            assert ev["ts"] + ev["dur"] <= t1 + eps
+
+
+def test_chrome_trace_includes_probe_counters():
+    _machine, obs = _observed_tiny_run()
+    doc = obs.chrome_trace()
+    counters = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+    assert counters
+    assert all("value" in ev["args"] for ev in counters)
+
+
+def test_write_trace_file(tmp_path):
+    _machine, obs = _observed_tiny_run()
+    path = tmp_path / "trace.json"
+    obs.write_trace(path)
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+# ----------------------------------------------------------------------
+# probes
+# ----------------------------------------------------------------------
+def test_probe_sampling_is_deterministic():
+    _m1, obs1 = _observed_tiny_run()
+    _m2, obs2 = _observed_tiny_run()
+    s1, s2 = obs1.probes.series(), obs2.probes.series()
+    assert obs1.probes.samples == obs2.probes.samples > 0
+    assert s1 == s2
+    # every series carries one point per tick
+    for series in s1.values():
+        assert len(series["t"]) == len(series["v"]) == obs1.probes.samples
+
+
+def test_probes_see_traffic_and_preserve_simulated_time():
+    plain = Machine(tiny_config())
+    remote_p = plain.allocate(2048, placement="local:1")
+
+    def prog(region):
+        def gen():
+            for i in range(12):
+                yield Read(region.addr((i * 8) % 1024))
+        return gen()
+
+    plain.run({0: prog(remote_p)})
+
+    observed = Machine(tiny_config())
+    Observability().attach(observed)
+    remote_o = observed.allocate(2048, placement="local:1")
+    observed.run({0: prog(remote_o)})
+
+    # non-intrusive: sampling adds its own tick events (so `now` may land on
+    # the next period boundary) but never perturbs the coherence traffic or
+    # the workload's own timing
+    assert observed.engine.now >= plain.engine.now
+    for cpu_o, cpu_p in zip(observed.cpus, plain.cpus):
+        assert cpu_o.stats.accumulators.keys() == cpu_p.stats.accumulators.keys()
+        for name, acc in cpu_p.stats.accumulators.items():
+            other = cpu_o.stats.accumulators[name]
+            assert (other.count, other.total) == (acc.count, acc.total)
+    assert observed.memory_stats() == plain.memory_stats()
+    assert observed.nc_stats() == plain.nc_stats()
+
+    series = observed.obs.probes.series()
+    assert any(any(v > 0 for v in s["v"]) for s in series.values())
+
+
+def test_probe_ring_buffer_bounded():
+    _machine, obs = _observed_tiny_run(probe_period_ns=50.0, probe_capacity=16)
+    for series in obs.probes.series().values():
+        assert len(series["v"]) <= 16
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+def test_snapshot_unifies_all_sections():
+    machine, obs = _observed_tiny_run()
+    machine.attach_monitor(Monitor())  # histograms appear even when attached late
+    snap = machine.obs_snapshot()
+    assert snap["meta"]["events_run"] == machine.engine.events_run
+    assert snap["counters"]  # StatGroup counters flattened
+    assert any(k.endswith(".bus.transactions") for k in snap["counters"])
+    assert any(k.startswith("ring.L0") for k in snap["counters"])
+    assert snap["accumulators"]
+    assert snap["fifos"]
+    assert "mean_depth" in next(iter(snap["fifos"].values()))
+    assert snap["utilizations"]["bus"] >= 0
+    assert snap["probes"]
+    assert snap["trace"]["finished"] == len(obs.tracer.finished)
+
+
+def test_snapshot_without_obs_or_monitor_still_works():
+    machine = Machine(tiny_config())
+    r = machine.allocate(256, placement="local:0")
+
+    def gen():
+        yield Write(r.addr(0), 1)
+
+    machine.run({0: gen()})
+    snap = snapshot(machine, include_wall=False)
+    assert "probes" not in snap and "trace" not in snap and "histograms" not in snap
+    assert "wall_s" not in snap["meta"]
+    assert snap["counters"]
+
+
+def test_snapshot_is_deterministic_without_wall():
+    m1, _ = _observed_tiny_run()
+    m2, _ = _observed_tiny_run()
+    assert m1.obs_snapshot(include_wall=False) == m2.obs_snapshot(include_wall=False)
+
+
+def test_prometheus_export_format():
+    machine, _obs = _observed_tiny_run()
+    machine.attach_monitor(Monitor())
+    text = to_prometheus(machine.obs_snapshot())
+    lines = text.splitlines()
+    assert any(l.startswith("# TYPE numachine_counter_total counter") for l in lines)
+    assert any(l.startswith("numachine_sim_time_ns") for l in lines)
+    assert any(l.startswith("numachine_fifo_mean_depth{") for l in lines)
+    assert any(l.startswith("numachine_trace_segment_ticks_total{") for l in lines)
+    # every sample line is `name{labels} value` or `name value`
+    for line in lines:
+        if line.startswith("#") or not line:
+            continue
+        name_part, _, value = line.rpartition(" ")
+        float(value)
+        assert name_part.startswith("numachine_")
+
+
+def test_runrecord_carries_obs_summary():
+    machine, obs = _observed_tiny_run()
+    rec = collect_record(machine, workload="tiny", nprocs=2, parallel_time_ns=1.0)
+    assert rec.obs["trace"]["finished"] == len(obs.tracer.finished)
+    assert rec.obs["probes"]["samples"] == obs.probes.samples
+    rt = type(rec).from_json(rec.to_json())
+    assert rt.obs == rec.obs
+    assert rt.deterministic_view() == rec.deterministic_view()
+
+
+# ----------------------------------------------------------------------
+# report CLI
+# ----------------------------------------------------------------------
+def test_report_cli_text_and_prom(tmp_path, capsys):
+    machine, _obs = _observed_tiny_run()
+    machine.attach_monitor(Monitor())
+    path = tmp_path / "obs.json"
+    machine.obs.write_snapshot(path)
+
+    assert report_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "latency breakdown" in out
+    assert "probe timelines" in out
+    assert "fifos" in out
+
+    assert report_main([str(path), "--format", "prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE numachine_counter_total counter" in out
+
+    assert report_main([str(path), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["schema"] >= 1
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert len(sparkline([0.0] * 10)) == 10
+    assert len(sparkline(list(range(200)), width=60)) == 60
+    # peak maps to the densest glyph
+    assert sparkline([0, 1])[-1] == "@"
+
+
+# ----------------------------------------------------------------------
+# overhead guard: tracing off must leave the PR 1 fast paths untouched
+# ----------------------------------------------------------------------
+def test_tracing_off_is_bit_identical_and_tracing_never_shifts_time():
+    cfg = MachineConfig.small(stations_per_ring=2, rings=2, cpus=2)
+    plain = Machine(cfg)
+    HotSpot(words=16, ops=60).run(plain, nprocs=8)
+
+    traced = Machine(MachineConfig.small(stations_per_ring=2, rings=2, cpus=2))
+    Observability(probes=False).attach(traced)  # tracer only: no extra events
+    HotSpot(words=16, ops=60).run(traced, nprocs=8)
+
+    # tracing records but never reschedules: identical event stream
+    assert traced.engine.events_run == plain.engine.events_run
+    assert traced.engine.now == plain.engine.now
+    assert traced.memory_stats() == plain.memory_stats()
+    assert traced.nc_stats() == plain.nc_stats()
+    assert traced.obs.tracer.finished
+
+
+@pytest.mark.skipif(not BASELINE.exists(), reason="no recorded engine baseline"
+                    " (run benchmarks/bench_engine_throughput.py first)")
+def test_tracing_off_throughput_vs_recorded_baseline():
+    """With no observability attached, the hot-spot microbench must replay
+    the recorded baseline's event stream exactly and stay within a generous
+    wall-clock margin of its throughput (hosts are noisy; the exact 3%
+    budget is checked by the bench itself on a quiet machine)."""
+    base = json.loads(BASELINE.read_text())
+    best = 0.0
+    machine = None
+    for _ in range(3):
+        machine = Machine(MachineConfig.prototype())
+        HotSpot(words=64, ops=400).run(machine, nprocs=base["nprocs"])
+        assert machine.engine.events_run == base["events_run"]
+        assert machine.engine.now == base["final_now_ticks"]
+        best = max(best, machine.engine.events_per_sec)
+    assert best >= base["events_per_sec"] * 0.75, (
+        f"throughput collapsed: best {best:.0f} ev/s vs "
+        f"baseline {base['events_per_sec']:.0f} ev/s"
+    )
