@@ -1,0 +1,199 @@
+"""Scaling benchmark: simulator throughput from P=4 to the full machine.
+
+Sweeps the active-processor count across the 64-processor prototype for
+two workloads — the synthetic hot-spot (densest event traffic the
+simulator generates) and the SPLASH-style blocked LU kernel (real data
+flow, barriers, and hit-run batching) — and records, per point, the
+event count, final simulated time, wall-clock time and events/second.
+Results land in ``BENCH_scale.json`` at the repo root.
+
+Reading the numbers
+-------------------
+
+*Events/second* measures the event loop; *wall time* measures the user
+experience.  They diverge on purpose: hit-run batching (see
+:mod:`repro.cpu.ops`) collapses long strings of cache hits into
+closed-form time advances, which **removes** events outright — LU wall
+time drops ~5x while its events/s barely moves, because the events that
+remain are the genuinely hard ones (misses, coherence, ring hops).
+Compare wall time for "how fast is the simulator", events/s for "how
+fast is the event core".
+
+Per point the active scheduler is recorded: auto-selection picks the C
+binary heap below :data:`repro.sim.sched.AUTO_CALENDAR_MIN_CPUS` active
+processors and the O(1) calendar queue at or above it (override with
+``NUMACHINE_SCHED=heap|calendar``; results are bit-identical either
+way).  Timing is best-of-N with median/stdev recorded so a reader can
+judge host noise, exactly as in ``bench_engine_throughput.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py                # full sweep
+    PYTHONPATH=src python benchmarks/bench_scale.py --ops 60 \\
+        --lu-n 16 --lu-block 4 --repeats 2 --out BENCH_scale.ci.json \\
+        --check BENCH_scale.json                                   # CI guard
+
+``--check BASELINE`` compares the just-measured hot-spot P=16
+events/second against the committed baseline file and exits non-zero on
+a regression beyond ``--tolerance`` (default 15%) — the CI perf guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+from repro import Machine, MachineConfig
+from repro.sim.engine import ticks_to_ns
+from repro.workloads.lu import LUContiguous
+from repro.workloads.synthetic import HotSpot
+
+RESULT_FILE = Path(__file__).resolve().parents[1] / "BENCH_scale.json"
+
+#: active-processor counts swept on the 64-processor prototype
+DEFAULT_POINTS = (4, 16, 32, 64)
+
+#: guard point and default slack for --check
+CHECK_WORKLOAD = "hotspot"
+CHECK_NPROCS = 16
+DEFAULT_TOLERANCE = 0.15
+
+
+def measure_point(workload_factory, nprocs: int, repeats: int) -> dict:
+    """Best-of-``repeats`` timing for one (workload, nprocs) point."""
+    walls = []
+    events = now = sched = None
+    for _ in range(max(1, repeats)):
+        machine = Machine(MachineConfig.prototype())
+        workload_factory().run(machine, nprocs=nprocs)
+        meter = machine.throughput()
+        if events is None:
+            events, now, sched = (
+                meter["events_run"],
+                machine.engine.now,
+                meter["scheduler"],
+            )
+        else:
+            # determinism: every repeat must replay the exact same events
+            assert meter["events_run"] == events, (meter["events_run"], events)
+            assert machine.engine.now == now, (machine.engine.now, now)
+        walls.append(meter["wall_time_s"])
+    best = min(walls)
+    median = statistics.median(walls)
+    return {
+        "nprocs": nprocs,
+        "scheduler": sched,
+        "events_run": events,
+        "final_now_ticks": now,
+        "sim_time_ns": ticks_to_ns(now),
+        "wall_time_s": best,
+        "wall_time_median_s": median,
+        "wall_time_stdev_s": statistics.stdev(walls) if len(walls) > 1 else 0.0,
+        "events_per_sec": events / best if best > 0 else 0.0,
+        "events_per_sec_median": events / median if median > 0 else 0.0,
+    }
+
+
+def run_sweep(
+    points=DEFAULT_POINTS,
+    ops: int = 400,
+    words: int = 64,
+    lu_n: int = 64,
+    lu_block: int = 8,
+    repeats: int = 3,
+) -> dict:
+    workloads = {
+        "hotspot": (
+            f"HotSpot(words={words}, ops={ops})",
+            lambda: HotSpot(words=words, ops=ops),
+        ),
+        "lu_contig": (
+            f"LUContiguous(n={lu_n}, block={lu_block})",
+            lambda: LUContiguous(n=lu_n, block=lu_block),
+        ),
+    }
+    result = {"schema": 1, "machine": "prototype (64p, 4 stations x 4 rings)",
+              "repeats": max(1, repeats), "workloads": {}}
+    for name, (desc, factory) in workloads.items():
+        sweep = {"workload": desc, "points": {}}
+        for p in points:
+            point = measure_point(factory, p, repeats)
+            sweep["points"][str(p)] = point
+            print(
+                f"{name:10s} P={p:<3d} {point['scheduler']:8s} "
+                f"{point['events_run']:>8d} events  "
+                f"wall {point['wall_time_s']:.3f}s  "
+                f"{point['events_per_sec']:>12,.0f} ev/s",
+                file=sys.stderr,
+            )
+        result["workloads"][name] = sweep
+    return result
+
+
+def check_regression(result: dict, baseline_path: Path, tolerance: float) -> int:
+    """CI guard: hot-spot P=16 events/s must not regress > ``tolerance``
+    vs the committed baseline.  Returns a process exit code."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except FileNotFoundError:
+        print(f"check: baseline {baseline_path} missing, skipping", file=sys.stderr)
+        return 0
+    try:
+        base = baseline["workloads"][CHECK_WORKLOAD]["points"][str(CHECK_NPROCS)]
+        cur = result["workloads"][CHECK_WORKLOAD]["points"][str(CHECK_NPROCS)]
+    except KeyError as exc:
+        print(f"check: baseline missing key {exc}, skipping", file=sys.stderr)
+        return 0
+    base_rate, cur_rate = base["events_per_sec"], cur["events_per_sec"]
+    floor = base_rate * (1.0 - tolerance)
+    verdict = "OK" if cur_rate >= floor else "REGRESSION"
+    print(
+        f"check: hotspot P={CHECK_NPROCS}: {cur_rate:,.0f} ev/s vs baseline "
+        f"{base_rate:,.0f} (floor {floor:,.0f}, tolerance {tolerance:.0%}) "
+        f"-> {verdict}",
+        file=sys.stderr,
+    )
+    return 0 if verdict == "OK" else 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--points", default=",".join(map(str, DEFAULT_POINTS)),
+                    help="comma-separated active-processor counts")
+    ap.add_argument("--ops", type=int, default=400, help="hot-spot ops per cpu")
+    ap.add_argument("--words", type=int, default=64, help="hot-spot shared words")
+    ap.add_argument("--lu-n", type=int, default=64, help="LU matrix dimension")
+    ap.add_argument("--lu-block", type=int, default=8, help="LU block size")
+    ap.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    ap.add_argument("--out", type=Path, default=RESULT_FILE,
+                    help="result JSON path")
+    ap.add_argument("--check", type=Path, metavar="BASELINE",
+                    help="compare hot-spot P=16 events/s against this "
+                    "baseline JSON; exit 1 on >tolerance regression")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="allowed fractional regression for --check")
+    ap.add_argument("--pre", type=Path, metavar="PRE_JSON",
+                    help="embed this JSON under 'baseline_pre' (same-host "
+                    "measurements of the pre-optimization core)")
+    args = ap.parse_args(argv)
+
+    points = tuple(int(p) for p in args.points.split(","))
+    result = run_sweep(points=points, ops=args.ops, words=args.words,
+                       lu_n=args.lu_n, lu_block=args.lu_block,
+                       repeats=args.repeats)
+    if args.pre:
+        result["baseline_pre"] = json.loads(args.pre.read_text())
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    if args.check:
+        return check_regression(result, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ workloads and the benches that regenerate every table and figure of the
 paper's evaluation.
 """
 
-from .cpu import AtomicRMW, Barrier, Compute, Phase, Read, SoftOp, Write
+from .cpu import AtomicRMW, Barrier, Compute, Phase, Read, ReadRun, SoftOp, Write, WriteRun
 from .interconnect import Geometry, MsgType, Packet
 from .obs import Observability
 from .sim import DeadlockError, Engine, SimulationError
@@ -23,8 +23,10 @@ __all__ = [
     "Compute",
     "Phase",
     "Read",
+    "ReadRun",
     "SoftOp",
     "Write",
+    "WriteRun",
     "Geometry",
     "MsgType",
     "Packet",

@@ -25,11 +25,10 @@ forwarding agent with no storage — the baseline for the NC ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from heapq import heappush as _heappush
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.states import CacheState, LineState
-from ..interconnect.packet import MsgType, Packet
+from ..interconnect.packet import MsgType, Packet, acquire_packet, release_packet
 from ..sim.engine import Engine, SimulationError, ns_to_ticks
 from ..sim.fifo import Fifo
 from ..sim.stats import StatGroup
@@ -96,6 +95,8 @@ class NetworkCache:
         self._ctr_misses = None
         self._ctr_caching_hits = None
         self._ctr_migration_hits = None
+        self._ctr_nacks = None
+        self._ctr_conflict_nacks = None
         engine.blocked_watchers.append(self._blocked_reason)
 
     # ==================================================================
@@ -118,10 +119,7 @@ class NetworkCache:
         pkt = self.in_fifo.pop(engine.now)
         seq = engine._seq + 1
         engine._seq = seq
-        _heappush(
-            engine._queue,
-            (engine.now + self._tag_ticks, 1, seq, self._service, pkt),
-        )
+        engine._push((engine.now + self._tag_ticks, 1, seq, self._service, pkt))
 
     def _service(self, pkt: Packet) -> None:
         tr = self.tracer
@@ -174,13 +172,21 @@ class NetworkCache:
             p = line.pending
             if p is not None and p.kind == "fetch" and cpu != p.cpu:
                 p.combined.add(cpu)
-            self.stats.counter("nacks").incr()
+            ctr = self._ctr_nacks
+            if ctr is None:
+                ctr = self._ctr_nacks = self.stats.counter("nacks")
+            ctr.value += 1
             self._nack_cpu(cpu, pkt.addr)
             return 0
         if line is None:
             occupant = self.array.occupant(pkt.addr)
             if occupant is not None and occupant.locked:
-                self.stats.counter("conflict_nacks").incr()
+                ctr = self._ctr_conflict_nacks
+                if ctr is None:
+                    ctr = self._ctr_conflict_nacks = self.stats.counter(
+                        "conflict_nacks"
+                    )
+                ctr.value += 1
                 self._nack_cpu(cpu, pkt.addr)
                 return 0
             if occupant is not None:
@@ -398,6 +404,9 @@ class NetworkCache:
             self._retry_ticks * min(p.retries, 8),
             lambda l=line: self._resend_fetch(l),
         )
+        # the NACK carried no payload and is referenced by nothing past this
+        # dispatch; recycle it (home memory draws its NACKs from the pool)
+        release_packet(pkt)
         return 0
 
     def _resend_fetch(self, line: NCLine) -> None:
@@ -928,18 +937,19 @@ class NetworkCache:
         prefetch: bool = False, phase: Optional[int] = None,
     ) -> None:
         home = self.config.home_station(addr)
-        meta = {"retry": retry, "prefetch": prefetch}
+        req = acquire_packet(
+            op, addr,
+            self.station_id,
+            self.codec.station_mask(home),
+            requester=cpu,
+        )
+        meta = req.meta
+        meta["retry"] = retry
+        meta["prefetch"] = prefetch
         if phase is not None:
             # the requester's phase identifier travels with the transaction
             # so the home station's monitor can attribute it (§3.3)
             meta["phase"] = phase
-        req = Packet(
-            mtype=op, addr=addr,
-            src_station=self.station_id,
-            dest_mask=self.codec.station_mask(home),
-            requester=cpu,
-            meta=meta,
-        )
         self._send_packet(req, has_data=False)
 
     def _send_simple(self, mtype: MsgType, orig: Packet) -> None:

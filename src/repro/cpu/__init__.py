@@ -1,6 +1,6 @@
 """Processor modules: the generator-driven R4400 model and its ops."""
 
-from .ops import AtomicRMW, Barrier, Compute, Phase, Read, SoftOp, Write
+from .ops import AtomicRMW, Barrier, Compute, Phase, Read, ReadRun, SoftOp, Write, WriteRun
 from .processor import Processor
 
 __all__ = [
@@ -9,7 +9,9 @@ __all__ = [
     "Compute",
     "Phase",
     "Read",
+    "ReadRun",
     "SoftOp",
     "Write",
+    "WriteRun",
     "Processor",
 ]

@@ -34,6 +34,45 @@ class Write:
 
 
 @dataclass(frozen=True, slots=True)
+class ReadRun:
+    """Load ``count`` words starting at ``addr``; the list of values is sent
+    back into the generator.
+
+    This is the *hit-run batching* op: the processor walks the run one cache
+    line at a time and charges each line's worth of hits in a single
+    closed-form time advance (first touch pays the L1-or-L2 hit cost, the
+    rest of the line's words pay L1 hits), so a long run of hits costs one
+    Python step per line instead of one generator round-trip per word.  A
+    miss anywhere in the run suspends it, goes through the ordinary miss
+    path, and the run resumes after the fill — misses, coherence traffic and
+    per-op counters are exactly those of the equivalent word-by-word loop.
+
+    ``stride`` is the byte distance between consecutive accesses; ``0``
+    (default) means one word.  It must be a multiple of the word size.
+
+    The addresses are computed arithmetically from ``addr``, so the run
+    must cover a *physically contiguous* range — do not let a run straddle
+    a region page boundary unless the backing pages are known adjacent
+    (runs whose region offset is a multiple of the run's byte length never
+    straddle, since the page size is a power of two).
+    """
+
+    addr: int
+    count: int
+    stride: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class WriteRun:
+    """Store ``values`` to consecutive words starting at ``addr`` (same
+    closed-form hit batching as :class:`ReadRun`)."""
+
+    addr: int
+    values: Tuple
+    stride: int = 0
+
+
+@dataclass(frozen=True, slots=True)
 class AtomicRMW:
     """Atomic read-modify-write (LL/SC-style): the line is acquired
     exclusively, ``fn(old)`` is stored, and ``old`` is sent back.

@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..cache.base import CacheArray, CacheLine
 from ..core.states import CacheState
-from ..interconnect.packet import MsgType, Packet
+from ..interconnect.packet import MsgType, Packet, next_pid
 from ..sim.engine import Engine, SimulationError, ns_to_ticks
 from ..sim.stats import StatGroup
 from . import ops as O
@@ -49,6 +49,7 @@ class Processor:
         self.started = False
         self._resume_value: Any = None
         self._pending: Optional[dict] = None
+        self._run: Optional[dict] = None          # active ReadRun/WriteRun
         self._request_start = 0
         # registers (§3.2)
         self.interrupt_reg = 0
@@ -126,6 +127,11 @@ class Processor:
         try_write = self._try_write
         Read, Write, Compute, AtomicRMW = O.Read, O.Write, O.Compute, O.AtomicRMW
         acc = 0
+        run = self._run
+        if run is not None:
+            acc = self._advance_run(run, 0)
+            if acc is None:
+                return
         for _ in range(cfg.cpu_batch):
             try:
                 op = next_op()
@@ -150,6 +156,29 @@ class Processor:
                 return
             if cls is Compute:
                 acc += int(op.cycles * cfg.compute_scale) * self._cpu
+                continue
+            if cls is O.ReadRun:
+                stride = op.stride or self._word_bytes
+                run = self._run = {
+                    "kind": "read", "addr": op.addr, "stride": stride,
+                    "end": op.addr + op.count * stride,
+                    "out": [], "values": None, "vi": 0, "awaiting": False,
+                }
+                acc = self._advance_run(run, acc)
+                if acc is None:
+                    return
+                continue
+            if cls is O.WriteRun:
+                stride = op.stride or self._word_bytes
+                vals = op.values
+                run = self._run = {
+                    "kind": "write", "addr": op.addr, "stride": stride,
+                    "end": op.addr + len(vals) * stride,
+                    "out": None, "values": vals, "vi": 0, "awaiting": False,
+                }
+                acc = self._advance_run(run, acc)
+                if acc is None:
+                    return
                 continue
             if cls is AtomicRMW:
                 hit, ticks, old = self._try_rmw(op.addr, op.fn)
@@ -214,6 +243,99 @@ class Processor:
         return False, 0, None
 
     # ------------------------------------------------------------------
+    # hit-run batching (ReadRun / WriteRun)
+    # ------------------------------------------------------------------
+    def _advance_run(self, run: dict, acc: int):
+        """Advance the active access run by whole cache lines.
+
+        Hits are charged closed-form per line: the first touch pays the
+        L1-or-L2 hit latency, every further word covered by the run pays an
+        L1 hit — identical, tick for tick, to yielding the same accesses one
+        op at a time, but at one Python iteration per line.  Counters and
+        data movement also match the word-by-word loop exactly.
+
+        Returns the accumulated tick count when the run completes; returns
+        ``None`` when it suspended (a miss was issued through the normal
+        miss path, or the per-event line budget ran out and a continuation
+        was scheduled) — the caller must return immediately.
+        """
+        stride = run["stride"]
+        wb = self._word_bytes
+        if stride % wb:
+            raise SimulationError(
+                f"run stride {stride} is not a multiple of the word size"
+            )
+        addr = run["addr"]
+        end = run["end"]
+        read = run["kind"] == "read"
+        if run["awaiting"]:
+            # the word that missed was completed by the fill; consume it
+            run["awaiting"] = False
+            if read:
+                run["out"].append(self._resume_value)
+                self._resume_value = None
+            else:
+                run["vi"] += 1
+            addr += stride
+        lmask = self._line_mask
+        l1 = self.l1
+        l2 = self.l2
+        l1_hit = self._l1_hit
+        step = stride // wb
+        # each line consumed in one iteration counts as one batched op
+        budget = self.config.cpu_batch
+        while addr < end:
+            if budget <= 0:
+                run["addr"] = addr
+                self.engine.schedule(max(acc, 1), self._step)
+                return None
+            budget -= 1
+            la = addr & ~lmask
+            line = l2.lookup(la)
+            if line is None or not (
+                line.state.readable if read else line.state.writable
+            ):
+                run["addr"] = addr
+                run["awaiting"] = True
+                if read:
+                    self.engine.schedule(acc, self._issue, ("read", addr, None))
+                else:
+                    self.engine.schedule(
+                        acc, self._issue, ("write", addr, run["values"][run["vi"]])
+                    )
+                return None
+            # accesses of this run that land on this line
+            span = min(end, la + lmask + 1) - addr
+            n = (span + stride - 1) // stride
+            if l1.lookup(la) is not None:
+                acc += n * l1_hit
+            else:
+                l1.install(la, line.state, None)
+                acc += self._l2_hit + (n - 1) * l1_hit
+            w0 = (addr & lmask) // wb
+            data = line.data
+            if read:
+                self._reads_ctr.value += n
+                if step == 1:
+                    run["out"].extend(data[w0:w0 + n])
+                else:
+                    run["out"].extend(data[w0:w0 + (n - 1) * step + 1:step])
+            else:
+                self._writes_ctr.value += n
+                vi = run["vi"]
+                vals = run["values"]
+                if step == 1:
+                    data[w0:w0 + n] = vals[vi:vi + n]
+                else:
+                    data[w0:w0 + (n - 1) * step + 1:step] = vals[vi:vi + n]
+                run["vi"] = vi + n
+            addr += n * stride
+        self._run = None
+        if read:
+            self._resume_value = run["out"]
+        return acc
+
+    # ------------------------------------------------------------------
     # miss path
     # ------------------------------------------------------------------
     def _issue(self, spec) -> None:
@@ -263,14 +385,26 @@ class Processor:
             mtype = MsgType.UPGRADE
         else:
             mtype = MsgType.READ_EX
-        pkt = Packet(
-            mtype=mtype,
-            addr=la,
-            src_station=self.station.station_id,
-            dest_mask=0,
-            requester=self.cpu_id,
-            meta={"local": True, "retry": p["tries"] > 0, "phase": self.phase},
-        )
+        pkt = p.get("pkt")
+        if pkt is None:
+            pkt = Packet(
+                mtype=mtype,
+                addr=la,
+                src_station=self.station.station_id,
+                dest_mask=0,
+                requester=self.cpu_id,
+                meta={"local": True, "retry": False, "phase": self.phase},
+            )
+            p["pkt"] = pkt
+        else:
+            # NACKed and re-issued: the module dropped the previous attempt
+            # synchronously (locked lines are never queued), so the same
+            # packet object is safe to resend.  A fresh pid keeps every
+            # network attempt distinguishable; the request type is
+            # re-evaluated because the line may have turned SHARED meanwhile.
+            pkt.mtype = mtype
+            pkt.pid = next_pid()
+            pkt.meta["retry"] = True
         target = self.station.module_for(la)
         tr = self.tracer
         if tr is not None:

@@ -26,14 +26,14 @@ from typing import Callable, Optional
 from ..sim.engine import Engine
 from ..sim.fifo import Fifo
 from ..sim.stats import StatGroup
-from .packet import Packet
+from .packet import Packet, ROUTE_ASCEND, ROUTE_DELIVER, ROUTE_TO_SEQ
 from .ring import Ring
 from .routing import RoutingMaskCodec
 
-#: travel-mode values kept in ``packet.meta['state']``
-ASCEND = "ascend"
-TO_SEQ = "to_seq"
-DELIVER = "deliver"
+#: travel-mode values kept in ``Packet.route_state``
+ASCEND = ROUTE_ASCEND
+TO_SEQ = ROUTE_TO_SEQ
+DELIVER = ROUTE_DELIVER
 
 
 class StationRingInterface:
@@ -131,9 +131,9 @@ class StationRingInterface:
                 self.stats.counter("nonsink_credit_waits").incr()
                 return
             self._nonsink_credits -= 1
-            packet.meta["_credit_home"] = self
+            packet.credit_home = self
         self._route_prep(packet)
-        packet.meta["_send_enq"] = self.engine.now
+        packet.send_enq = self.engine.now
         # packet generator formatting latency, then the output FIFO
         self.engine.schedule(self.pkt_gen_ticks, self._enqueue_out, packet)
 
@@ -141,9 +141,9 @@ class StationRingInterface:
         """A nonsinkable message from this station left the network."""
         if self._pending_out:
             packet = self._pending_out.popleft()
-            packet.meta["_credit_home"] = self
+            packet.credit_home = self
             self._route_prep(packet)
-            packet.meta["_send_enq"] = self.engine.now
+            packet.send_enq = self.engine.now
             self.engine.schedule(self.pkt_gen_ticks, self._enqueue_out, packet)
         else:
             self._nonsink_credits += 1
@@ -155,9 +155,9 @@ class StationRingInterface:
             # Stays on this ring: clear the upper fields so the packet is not
             # mistaken for an ascending one.
             packet.dest_mask = codec.clear_upper(packet.dest_mask, 1)
-            packet.meta["state"] = TO_SEQ if packet.ordered else DELIVER
+            packet.route_state = TO_SEQ if packet.ordered else DELIVER
         else:
-            packet.meta["state"] = ASCEND
+            packet.route_state = ASCEND
 
     def _enqueue_out(self, packet: Packet) -> None:
         self.out_fifo.push(packet, self.engine.now)
@@ -170,7 +170,7 @@ class StationRingInterface:
         packet = self.out_fifo.pop(self.engine.now)
         # A deliver-mode packet whose only target is this station never
         # touches the ring (e.g. an unordered self-send); loop it back.
-        state = packet.meta.get("state")
+        state = packet.route_state
         fld = self.codec.field(packet.dest_mask, 0)
         if state == DELIVER and fld == (1 << self.station_bit):
             self.engine.schedule(0, self._local_loopback, packet)
@@ -178,9 +178,9 @@ class StationRingInterface:
             self._pump_out()
             return
         start = self.ring.inject(self.pos, packet)
-        self.stats.accumulator("send_delay").add(
-            start - packet.meta.pop("_send_enq", start)
-        )
+        enq = packet.send_enq
+        packet.send_enq = -1
+        self.stats.accumulator("send_delay").add(start - enq if enq >= 0 else 0)
         tr = self.tracer
         if tr is not None:
             tr.stamp_pkt(packet, "ring.inject", start)
@@ -198,7 +198,7 @@ class StationRingInterface:
     # ring member: arrivals on the local ring
     # ------------------------------------------------------------------
     def ring_arrival(self, ring: Ring, packet: Packet) -> None:
-        state = packet.meta.get("state", DELIVER)
+        state = packet.route_state
         if state == ASCEND:
             ring.forward(self.pos, packet)
             return
@@ -206,7 +206,7 @@ class StationRingInterface:
             if ring.seq_pos == self.pos:
                 # this member is the sequencing point (single-ring machines):
                 # ordering the multicast costs seq_ticks before it proceeds
-                packet.meta["state"] = DELIVER
+                packet.route_state = DELIVER
                 if self.seq_ticks:
                     self.engine.schedule(
                         self.seq_ticks, self._deliver_after_seq, packet
@@ -238,12 +238,12 @@ class StationRingInterface:
         Multi-flit messages finish arriving ``(flits-1)`` slots after their
         head (cut-through tail lag)."""
         tail = (packet.flits - 1) * self.ring.slot_ticks
-        if tail and not packet.meta.pop("_tail_done", False):
-            packet.meta["_tail_done"] = True
+        if tail and not packet.tail_done:
+            packet.tail_done = True
             self.engine.schedule(tail, self._accept, packet)
             return
-        packet.meta.pop("_tail_done", None)
-        packet.meta["_arr"] = self.engine.now
+        packet.tail_done = False
+        packet.arr = self.engine.now
         tr = self.tracer
         if tr is not None:
             tr.stamp_pkt(packet, "ri.arrive", self.engine.now)
@@ -288,15 +288,19 @@ class StationRingInterface:
         self.bus_granter(cycles, lambda start, p=packet, k=kind: self._bus_done(p, k))
 
     def _bus_done(self, packet: Packet, kind: str) -> None:
-        arr = packet.meta.pop("_arr", self.engine.now)
+        arr = packet.arr
+        packet.arr = -1
+        if arr < 0:
+            arr = self.engine.now
         self.stats.accumulator(f"down_delay_{kind}").add(self.engine.now - arr)
         tr = self.tracer
         if tr is not None:
             tr.stamp_pkt(packet, "ri.deliver", self.engine.now)
         self._drain_busy = False
         if not packet.sinkable:
-            credit_home = packet.meta.pop("_credit_home", None)
+            credit_home = packet.credit_home
             if credit_home is not None:
+                packet.credit_home = None
                 credit_home.release_credit()
         self.deliver_cb(packet)
         self._pump_drain()
@@ -375,14 +379,14 @@ class InterRingInterface:
 
     # ---- child ring side ---------------------------------------------
     def _child_arrival(self, packet: Packet) -> None:
-        state = packet.meta.get("state", DELIVER)
+        state = packet.route_state
         if state == ASCEND:
             self._enqueue_up(packet)
             return
         if state == TO_SEQ and self.child.seq_pos == self.child_pos:
             # This interface is the child ring's sequencing point: ordering
             # the multicast costs seq_ticks before the copies proceed.
-            packet.meta["state"] = DELIVER
+            packet.route_state = DELIVER
             if self.seq_ticks:
                 self.engine.schedule(
                     self.seq_ticks,
@@ -395,7 +399,7 @@ class InterRingInterface:
         tr = self.tracer
         if tr is not None:
             tr.stamp_pkt(packet, "iri.up_enq", self.engine.now)
-        packet.meta["_up_enq"] = self.engine.now
+        packet.up_enq = self.engine.now
         self.up_fifo.push(packet, self.engine.now)
         if self.up_fifo.pressured:
             self.child.halt_link(self.child_pos, self.child.slot_ticks * 4)
@@ -416,13 +420,13 @@ class InterRingInterface:
                 higher = True
                 break
         if higher:
-            packet.meta["state"] = ASCEND
+            packet.route_state = ASCEND
         else:
-            packet.meta["state"] = TO_SEQ if packet.ordered else DELIVER
+            packet.route_state = TO_SEQ if packet.ordered else DELIVER
         start = self.parent.inject(self.parent_pos, packet)
-        self.stats.accumulator("up_delay").add(
-            start - packet.meta.pop("_up_enq", start)
-        )
+        enq = packet.up_enq
+        packet.up_enq = -1
+        self.stats.accumulator("up_delay").add(start - enq if enq >= 0 else 0)
         tr = self.tracer
         if tr is not None:
             tr.stamp_pkt(packet, "iri.up_inject", start)
@@ -435,7 +439,7 @@ class InterRingInterface:
 
     # ---- parent ring side ---------------------------------------------
     def _parent_arrival(self, packet: Packet) -> None:
-        state = packet.meta.get("state", DELIVER)
+        state = packet.route_state
         if state == ASCEND:
             # Only possible in 3+ level machines; this interface is not the
             # one that switches further up (each ring has one upward link).
@@ -443,15 +447,16 @@ class InterRingInterface:
             return
         if state == TO_SEQ:
             if self.parent.seq_pos == self.parent_pos:
-                packet.meta["state"] = DELIVER
-                if self.seq_ticks and not packet.meta.pop("_seq_done", False):
-                    packet.meta["_seq_done"] = True
-                    packet.meta["state"] = TO_SEQ
+                packet.route_state = DELIVER
+                if self.seq_ticks and not packet.seq_done:
+                    packet.seq_done = True
+                    packet.route_state = TO_SEQ
                     self.engine.schedule(
                         self.seq_ticks,
                         lambda p=packet: self._parent_arrival(p),
                     )
                     return
+                packet.seq_done = False
             else:
                 self.parent.forward(self.parent_pos, packet)
                 return
@@ -474,8 +479,8 @@ class InterRingInterface:
     def _enqueue_down(self, packet: Packet) -> None:
         # Switching down clears every higher-level field (paper §2.2).
         packet.dest_mask = self.codec.clear_upper(packet.dest_mask, self.parent.level)
-        packet.meta["state"] = DELIVER
-        packet.meta["_down_enq"] = self.engine.now
+        packet.route_state = DELIVER
+        packet.down_enq = self.engine.now
         tr = self.tracer
         if tr is not None:
             tr.stamp_pkt(packet, "iri.down_enq", self.engine.now)
@@ -493,9 +498,9 @@ class InterRingInterface:
 
     def _inject_child(self, packet: Packet) -> None:
         start = self.child.inject(self.child_pos, packet)
-        self.stats.accumulator("down_delay").add(
-            start - packet.meta.pop("_down_enq", start)
-        )
+        enq = packet.down_enq
+        packet.down_enq = -1
+        self.stats.accumulator("down_delay").add(start - enq if enq >= 0 else 0)
         tr = self.tracer
         if tr is not None:
             tr.stamp_pkt(packet, "iri.down_inject", start)

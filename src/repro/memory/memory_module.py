@@ -22,12 +22,11 @@ that is what keeps the module's service path simple and fast.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from heapq import heappush as _heappush
 from typing import Any, Dict, List, Optional
 
 from ..core.directory import DirEntry, Directory
 from ..core.states import LineState
-from ..interconnect.packet import MsgType, Packet
+from ..interconnect.packet import MsgType, Packet, acquire_packet, release_packet
 from ..sim.engine import Engine, SimulationError, ns_to_ticks
 from ..sim.fifo import Fifo
 from ..sim.stats import StatGroup
@@ -119,10 +118,7 @@ class MemoryModule:
         pkt = self.in_fifo.pop(engine.now)
         seq = engine._seq + 1
         engine._seq = seq
-        _heappush(
-            engine._queue,
-            (engine.now + self._lookup_ticks, 1, seq, self._service, pkt),
-        )
+        engine._push((engine.now + self._lookup_ticks, 1, seq, self._service, pkt))
 
     def _service(self, pkt: Packet) -> None:
         tr = self.tracer
@@ -552,13 +548,17 @@ class MemoryModule:
                 lambda start, c=cpu, a=pkt.addr: c.nack_from_module(a),
             )
         else:
-            nack = Packet(
-                mtype=MsgType.NACK, addr=pkt.addr,
-                src_station=self.station_id,
-                dest_mask=self.codec.station_mask(pkt.src_station),
+            nack = acquire_packet(
+                MsgType.NACK, pkt.addr,
+                self.station_id,
+                self.codec.station_mask(pkt.src_station),
                 requester=pkt.requester,
             )
             self._send_packet(nack, has_data=False)
+            # The bounced request dies here: nothing queues on a locked
+            # line, and the retry is rebuilt from scratch by the requesting
+            # NC (this is the hot allocation loop of a retry storm).
+            release_packet(pkt)
         return 0
 
     def _lock(self, entry: DirEntry, pending: Pending) -> None:

@@ -16,6 +16,16 @@ Environment knobs:
 * ``NUMACHINE_CACHE_DIR`` — cache directory (default ``.numachine_cache``
   under the current working directory).
 * ``NUMACHINE_CACHE=0``   — disable reads *and* writes (every point runs).
+* ``NUMACHINE_CACHE_MAX_MB`` — size cap for the cache directory (default
+  256 MB).  When a write pushes the directory past the cap, the
+  least-recently-used entries are evicted (reads refresh an entry's
+  timestamp).  ``python -m repro.perf.cache --prune`` applies the same
+  policy on demand; ``--stats`` and ``--clear`` are also available.
+
+Deliberately *not* part of the key: the event-scheduler choice
+(``NUMACHINE_SCHED``) and packet pooling (``NUMACHINE_POOL``).  Both are
+bit-identical by contract (pinned by ``tests/test_engine_determinism.py``),
+so a result computed under one is valid under the other.
 """
 
 from __future__ import annotations
@@ -30,7 +40,17 @@ from typing import Optional
 from .record import RunRecord
 
 #: bump when the RunRecord layout or key derivation changes
-CACHE_SCHEMA = 2
+CACHE_SCHEMA = 3
+
+#: default size cap for the cache directory, in bytes
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def _max_bytes() -> int:
+    raw = os.environ.get("NUMACHINE_CACHE_MAX_MB")
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    return max(0, int(float(raw) * 1024 * 1024))
 
 
 def _repro_version() -> str:
@@ -75,15 +95,22 @@ def point_key(
 class RunCache:
     """A directory of ``<key>.json`` result files."""
 
-    def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        enabled: Optional[bool] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         if root is None:
             root = Path(os.environ.get("NUMACHINE_CACHE_DIR", ".numachine_cache"))
         self.root = Path(root)
         if enabled is None:
             enabled = os.environ.get("NUMACHINE_CACHE", "1") != "0"
         self.enabled = enabled
+        self.max_bytes = _max_bytes() if max_bytes is None else max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -100,6 +127,10 @@ class RunCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh: LRU eviction keys off mtime
+        except OSError:
+            pass
         return record
 
     def put(self, key: str, record: RunRecord) -> None:
@@ -112,6 +143,43 @@ class RunCache:
         with open(tmp, "w") as fh:
             json.dump(payload, fh)
         os.replace(tmp, path)  # atomic vs concurrent workers
+        self.prune()
+
+    # ------------------------------------------------------------------
+    def _entries(self):
+        """(mtime, size, path) for every entry, oldest first."""
+        out = []
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                out.append((st.st_mtime, st.st_size, path))
+        out.sort()
+        return out
+
+    def size_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict least-recently-used entries until the directory fits the
+        cap; returns the number of entries removed."""
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in entries:
+            if total <= cap:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.evictions += removed
+        return removed
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
@@ -124,3 +192,49 @@ class RunCache:
                 except OSError:
                     pass
         return removed
+
+
+# ----------------------------------------------------------------------
+# command-line maintenance: python -m repro.perf.cache --prune | --stats
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.perf.cache",
+        description="Inspect and maintain the on-disk sweep-result cache.",
+    )
+    ap.add_argument("--dir", default=None, help="cache directory (default: "
+                    "$NUMACHINE_CACHE_DIR or .numachine_cache)")
+    ap.add_argument("--prune", action="store_true",
+                    help="evict least-recently-used entries past the size cap")
+    ap.add_argument("--max-mb", type=float, default=None,
+                    help="size cap in MB for --prune (default: "
+                    "$NUMACHINE_CACHE_MAX_MB or 256)")
+    ap.add_argument("--clear", action="store_true", help="delete every entry")
+    ap.add_argument("--stats", action="store_true",
+                    help="print entry count and total size")
+    args = ap.parse_args(argv)
+
+    cache = RunCache(root=Path(args.dir) if args.dir else None, enabled=True)
+    if args.max_mb is not None:
+        cache.max_bytes = int(args.max_mb * 1024 * 1024)
+    did = False
+    if args.clear:
+        print(f"cleared {cache.clear()} entries from {cache.root}")
+        did = True
+    if args.prune:
+        removed = cache.prune()
+        print(f"pruned {removed} entries from {cache.root} "
+              f"(cap {cache.max_bytes // (1024 * 1024)} MB)")
+        did = True
+    if args.stats or not did:
+        entries = cache._entries()
+        total = sum(size for _, size, _ in entries)
+        print(f"{cache.root}: {len(entries)} entries, {total / 1e6:.2f} MB "
+              f"(schema {CACHE_SCHEMA}, cap {cache.max_bytes // (1024 * 1024)} MB)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

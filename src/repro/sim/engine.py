@@ -12,18 +12,32 @@ resolved synchronously inside the processor model (see
 to the number of messages exchanged, not to the number of cycles simulated.
 
 The event loop is the hottest code in the whole simulator: every message,
-bus grant and FIFO pump passes through :meth:`Engine.run`.  It therefore
-binds ``heappop`` and the queue locally and keeps per-event bookkeeping in
-locals, writing the totals back once per call.  Event *ordering* — the
-``(time, priority, seq)`` heap key — is untouched, so optimized runs are
-bit-identical to the original engine.
+bus grant and FIFO pump passes through :meth:`Engine.run`.  Scheduling is
+*pluggable* (see :mod:`repro.sim.sched`): the default is a calendar queue
+whose per-event cost does not grow with the number of pending events — the
+property that keeps the full 64-processor machine affordable — with the
+binary heap retained as the reference implementation, selectable via the
+``NUMACHINE_SCHED`` environment variable (or the ``scheduler=`` argument).
+Event *ordering* is identical under every scheduler — the total order of
+``(time, priority, seq)`` keys — so runs are bit-identical whichever is
+active; the engine dispatches to a loop specialised for the scheduler in
+use so neither pays an indirection per event.
+
+Components on the very hottest paths (bus grants, memory/NC pumps) inline
+``Engine.schedule`` by bumping ``engine._seq`` themselves and handing the
+finished event tuple to ``engine._push`` — the single scheduler-agnostic
+insertion point.
 """
 
 from __future__ import annotations
 
 import heapq
+import os as _os
 import time as _time
+from functools import partial as _partial
 from typing import Any, Callable, Optional
+
+from .sched import CalendarQueue, HeapScheduler, make_scheduler
 
 #: Integer ticks per nanosecond.  3 makes both a 6.67ns CPU cycle (20 ticks)
 #: and a 20ns bus/ring cycle (60 ticks) exact.
@@ -64,7 +78,10 @@ class Engine:
 
     __slots__ = (
         "now",
+        "_sched",
         "_queue",
+        "_push",
+        "_auto_sched",
         "_seq",
         "_events_run",
         "_running",
@@ -77,9 +94,15 @@ class Engine:
     PRIO_NORMAL = 1
     PRIO_INJECT = 2
 
-    def __init__(self) -> None:
+    def __init__(
+        self, scheduler: Optional[str] = None, num_cpus: Optional[int] = None
+    ) -> None:
         self.now: int = 0
-        self._queue: list = []
+        # num_cpus is a sizing hint for scheduler auto-selection only; it
+        # never changes simulation results (schedulers are bit-identical)
+        self._auto_sched = not (scheduler or _os.environ.get("NUMACHINE_SCHED"))
+        self._sched = make_scheduler(scheduler, num_cpus)
+        self._bind_scheduler()
         self._seq: int = 0
         self._events_run: int = 0
         self._running = False
@@ -88,6 +111,40 @@ class Engine:
         self.blocked_watchers: list[Callable[[], Optional[str]]] = []
         #: cumulative wall-clock seconds spent inside :meth:`run`
         self.wall_time_s: float = 0.0
+
+    def _bind_scheduler(self) -> None:
+        if isinstance(self._sched, HeapScheduler):
+            # heap fast path: pushes go straight to the C heappush bound to
+            # the underlying list — zero Python frames per insertion
+            self._queue: Optional[list] = self._sched._queue
+            self._push: Callable[[tuple], None] = _partial(_heappush, self._queue)
+        else:
+            self._queue = None
+            self._push = self._sched.push
+
+    @property
+    def scheduler_name(self) -> str:
+        """Name of the active scheduler (``calendar`` or ``heap``)."""
+        return self._sched.name
+
+    def size_hint(self, num_cpus: int) -> None:
+        """Refine the scheduler auto-selection with a better estimate of the
+        active-processor count (e.g. the number of programs actually handed
+        to :meth:`Machine.run`, which may be far below the machine size).
+
+        Only acts when the choice was automatic (no ``scheduler=`` argument
+        and no ``NUMACHINE_SCHED``) and the engine is still fresh — nothing
+        scheduled, nothing run — so the swap can never reorder anything.
+        Scheduler choice is invisible in results either way (bit-identical);
+        this only picks the faster implementation for the event population
+        the run will actually generate.
+        """
+        if not self._auto_sched or self._seq or self._events_run or self._sched:
+            return
+        sched = make_scheduler(None, num_cpus)
+        if sched.name != self._sched.name:
+            self._sched = sched
+            self._bind_scheduler()
 
     # ------------------------------------------------------------------
     # scheduling
@@ -105,7 +162,7 @@ class Engine:
             raise SimulationError(f"negative delay {delay}")
         seq = self._seq + 1
         self._seq = seq
-        _heappush(self._queue, (self.now + delay, priority, seq, callback, arg))
+        self._push((self.now + delay, priority, seq, callback, arg))
 
     def schedule_at(
         self,
@@ -119,7 +176,7 @@ class Engine:
             raise SimulationError(f"schedule_at in the past: {when} < {self.now}")
         seq = self._seq + 1
         self._seq = seq
-        _heappush(self._queue, (when, priority, seq, callback, arg))
+        self._push((when, priority, seq, callback, arg))
 
     # ------------------------------------------------------------------
     # execution
@@ -134,46 +191,97 @@ class Engine:
         # max_events <= 0 still lets exactly one event run.
         limit = -1 if max_events is None else max(1, max_events)
         queue = self._queue
-        pop = _heappop
         self._running = True
         wall_start = _perf_counter()
         try:
-            if until is None and limit < 0:
-                # common case: drain with no limits — no per-event checks
-                while queue:
-                    when, _prio, _seq, callback, arg = pop(queue)
-                    self.now = when
-                    if arg is None:
-                        callback()
-                    else:
-                        callback(arg)
-                    processed += 1
-            elif until is None:
-                while queue:
-                    when, _prio, _seq, callback, arg = pop(queue)
-                    self.now = when
-                    if arg is None:
-                        callback()
-                    else:
-                        callback(arg)
-                    processed += 1
-                    if processed == limit:
-                        break
+            if queue is not None:
+                # ---------------- binary heap (reference) ----------------
+                pop = _heappop
+                if until is None and limit < 0:
+                    # common case: drain with no limits — no per-event checks
+                    while queue:
+                        when, _prio, _seq, callback, arg = pop(queue)
+                        self.now = when
+                        if arg is None:
+                            callback()
+                        else:
+                            callback(arg)
+                        processed += 1
+                elif until is None:
+                    while queue:
+                        when, _prio, _seq, callback, arg = pop(queue)
+                        self.now = when
+                        if arg is None:
+                            callback()
+                        else:
+                            callback(arg)
+                        processed += 1
+                        if processed == limit:
+                            break
+                else:
+                    while queue:
+                        when = queue[0][0]
+                        if when > until:
+                            self.now = until
+                            break
+                        when, _prio, _seq, callback, arg = pop(queue)
+                        self.now = when
+                        if arg is None:
+                            callback()
+                        else:
+                            callback(arg)
+                        processed += 1
+                        if processed == limit:
+                            break
             else:
-                while queue:
-                    when = queue[0][0]
-                    if when > until:
-                        self.now = until
-                        break
-                    when, _prio, _seq, callback, arg = pop(queue)
-                    self.now = when
-                    if arg is None:
-                        callback()
-                    else:
-                        callback(arg)
-                    processed += 1
-                    if processed == limit:
-                        break
+                # ---------------- calendar queue (default) ----------------
+                # The bucket drain is inlined: the active bucket is consumed
+                # left-to-right by index, so the per-event cost is a list
+                # index plus bookkeeping — independent of how many events
+                # are pending.  Callbacks may push while we drain; pushes
+                # into the active bucket keep its tail sorted (sched.push),
+                # so re-reading _cur/_cur_i each iteration is sufficient.
+                sched = self._sched
+                if until is None and limit < 0:
+                    while True:
+                        i = sched._cur_i
+                        cur = sched._cur
+                        if i >= len(cur):
+                            if not sched._advance():
+                                break
+                            cur = sched._cur
+                            i = 0
+                        sched._cur_i = i + 1
+                        when, _prio, _seq, callback, arg = cur[i]
+                        self.now = when
+                        if arg is None:
+                            callback()
+                        else:
+                            callback(arg)
+                        processed += 1
+                else:
+                    while True:
+                        i = sched._cur_i
+                        cur = sched._cur
+                        if i >= len(cur):
+                            if not sched._advance():
+                                break
+                            cur = sched._cur
+                            i = 0
+                        when = cur[i][0]
+                        if until is not None and when > until:
+                            self.now = until
+                            break
+                        sched._cur_i = i + 1
+                        when, _prio, _seq, callback, arg = cur[i]
+                        self.now = when
+                        if arg is None:
+                            callback()
+                        else:
+                            callback(arg)
+                        processed += 1
+                        if processed == limit:
+                            break
         finally:
             self._running = False
             self._events_run += processed
@@ -183,7 +291,7 @@ class Engine:
     def check_quiescent(self) -> None:
         """After a drain, raise :class:`DeadlockError` if any registered
         watcher reports outstanding blocked work."""
-        if self._queue:
+        if self._sched:
             return
         reasons = []
         for watcher in self.blocked_watchers:
@@ -198,7 +306,7 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events currently queued."""
-        return len(self._queue)
+        return len(self._sched)
 
     @property
     def events_run(self) -> int:
@@ -219,4 +327,5 @@ class Engine:
             "events_run": self._events_run,
             "wall_time_s": self.wall_time_s,
             "events_per_sec": self.events_per_sec,
+            "scheduler": self._sched.name,
         }

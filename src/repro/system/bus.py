@@ -16,7 +16,6 @@ to the memory module" rides one transaction).
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush as _heappush
 from typing import Callable, Deque, Tuple
 
 from ..sim.engine import Engine
@@ -66,10 +65,9 @@ class Bus:
         now = engine.now
         seq = engine._seq + 1
         engine._seq = seq
-        _heappush(
-            engine._queue,
+        engine._push(
             (now + arb + duration, _PRIO_NORMAL, seq, self._complete,
-             (now + arb, on_complete)),
+             (now + arb, on_complete))
         )
 
     def _complete(self, arg) -> None:
@@ -123,10 +121,7 @@ class OrderedPort:
             ready = now
         seq = engine._seq + 1
         engine._seq = seq
-        _heappush(
-            engine._queue,
-            (ready, _PRIO_NORMAL, seq, self._issue, (duration, cb)),
-        )
+        engine._push((ready, _PRIO_NORMAL, seq, self._issue, (duration, cb)))
 
     def _issue(self, arg) -> None:
         # Bus.request inlined — one issue per bus transaction

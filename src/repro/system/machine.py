@@ -47,7 +47,7 @@ class Machine:
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or MachineConfig()
         self.config.validate()
-        self.engine = Engine()
+        self.engine = Engine(num_cpus=self.config.num_cpus)
         self.net: Interconnect = build_interconnect(self.engine, self.config)
         self.codec = self.net.codec
         self.stations: List[Station] = [
@@ -133,6 +133,10 @@ class Machine:
         :class:`DeadlockError` if the event queue drains while any program
         is still blocked (a protocol bug or a genuinely deadlocked workload).
         """
+        # a 64-CPU machine running 16 programs behaves like a 16-CPU run for
+        # event-population purposes; refine the scheduler choice before any
+        # event exists (no-op unless the engine is fresh and on auto-select)
+        self.engine.size_hint(len(programs))
         for cpu_id, program in programs.items():
             self.cpus[cpu_id].set_program(program)
         if self.obs is not None:

@@ -43,6 +43,10 @@ class Station:
         # home-routing constants, bound once: module_for runs per request
         self._station_mem_bytes = config.station_mem_bytes
         self._num_stations = config.num_stations
+        # dispatch constants, bound once: deliver_from_ring runs per packet
+        # and its register fan-outs iterate over whole-machine cpu lists
+        self._cpus_per_station = config.cpus_per_station
+        self._gid_base = station_id * self._cpus_per_station
 
     def peer(self, station_id: int) -> "Station":
         return self._peers[station_id]
@@ -74,15 +78,18 @@ class Station:
         if mtype is MsgType.BARRIER_WRITE:
             bit = pkt.meta["bit"]
             sense = pkt.meta["sense"]
-            base = self.station_id * self.config.cpus_per_station
+            base = self._gid_base
+            top = base + self._cpus_per_station
+            cpus = self.cpus
             for gid in pkt.meta["cpus"]:
-                if base <= gid < base + self.config.cpus_per_station:
-                    self.cpus[gid - base].barrier_write(bit, sense)
+                if base <= gid < top:
+                    cpus[gid - base].barrier_write(bit, sense)
             return
         if mtype is MsgType.INTERRUPT:
-            proc_mask = pkt.meta.get("proc_mask", (1 << self.config.cpus_per_station) - 1)
+            cps = self._cpus_per_station
+            proc_mask = pkt.meta.get("proc_mask", (1 << cps) - 1)
             bits = pkt.meta.get("bits", 1)
-            for i in range(self.config.cpus_per_station):
+            for i in range(cps):
                 if proc_mask & (1 << i):
                     self.cpus[i].raise_interrupt(bits)
             return

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute, ReadRun, WriteRun
 from .base import BarrierFactory, SharedMatrix, Workload, WorkloadResult
 
 
@@ -70,30 +70,34 @@ class _LUBase(Workload):
         raise NotImplementedError
 
     # -- block helpers ----------------------------------------------------
+    # Both layouts store a block row (fixed i, j varying within the block)
+    # contiguously, so a block moves as one hit-run op per row: the
+    # processor batches the hits line by line instead of one generator
+    # round-trip per word (same misses, same traffic, same per-word values).
     def _read_block(self, I: int, J: int):
         b = self.b
-        vals = [[0.0] * b for _ in range(b)]
+        vals = []
         for i in range(b):
-            for j in range(b):
-                v = yield Read(self._addr(I * b + i, J * b + j))
-                vals[i][j] = v
+            row = yield ReadRun(self._addr(I * b + i, J * b), b)
+            vals.append(row)
         return vals
 
     def _write_block(self, I: int, J: int, vals) -> None:
         b = self.b
         for i in range(b):
-            for j in range(b):
-                yield Write(self._addr(I * b + i, J * b + j), vals[i][j])
+            yield WriteRun(self._addr(I * b + i, J * b), tuple(vals[i]))
 
     def thread_program(self, tid: int, cpus: Sequence[int]):
         b, nb = self.b, self.nb
         P = len(cpus)
         if tid == 0:
             # initialize the matrix (master thread, inside the timed section
-            # as in the paper's 'parallel section' definition)
+            # as in the paper's 'parallel section' definition); one run per
+            # block row — the contiguity unit shared by both layouts
             for i in range(self.n):
-                for j in range(self.n):
-                    yield Write(self._addr(i, j), self.input[i][j])
+                row = self.input[i]
+                for J in range(nb):
+                    yield WriteRun(self._addr(i, J * b), tuple(row[J * b:(J + 1) * b]))
         yield self.barrier(tid)
         for K in range(nb):
             # factor the diagonal block

@@ -123,3 +123,66 @@ def test_run_sweep_parallel_matches_serial(tmp_path):
 def test_default_config_is_prototype():
     point = SweepPoint(workload="fft", nprocs=1)
     assert point.resolved_config() == MachineConfig.prototype()
+
+
+# ----------------------------------------------------------------------
+# size cap / LRU eviction / prune CLI
+# ----------------------------------------------------------------------
+def _sized_record(tag: str) -> RunRecord:
+    # pad the stats dict so each entry has a predictable on-disk footprint
+    return RunRecord(workload=tag, nprocs=1, nc_stats={"pad": "x" * 2000})
+
+
+def test_cache_evicts_least_recently_used_past_cap(tmp_path):
+    import os
+    import time
+
+    cache = RunCache(root=tmp_path / "cache", max_bytes=10_000_000)
+    for i in range(5):
+        cache.put(f"k{i}", _sized_record(f"w{i}"))
+    paths = sorted((tmp_path / "cache").glob("*.json"))
+    assert len(paths) == 5
+    # make k0 the oldest, then freshen it with a read; k1 becomes LRU
+    base = time.time() - 1000
+    for i, key in enumerate(["k0", "k1", "k2", "k3", "k4"]):
+        os.utime(tmp_path / "cache" / f"{key}.json", (base + i, base + i))
+    assert cache.get("k0") is not None  # refreshes k0's timestamp
+    entry_size = (tmp_path / "cache" / "k0.json").stat().st_size
+    cache.max_bytes = entry_size * 3 + 10
+    removed = cache.prune()
+    assert removed == 2
+    # k1 and k2 (oldest after the refresh) are gone; k0 survived the prune
+    assert cache.get("k0") is not None
+    assert cache.get("k1") is None
+    assert cache.get("k2") is None
+    assert cache.get("k3") is not None
+
+
+def test_cache_put_respects_cap_automatically(tmp_path):
+    cache = RunCache(root=tmp_path / "cache", max_bytes=1)
+    cache.put("a", _sized_record("w"))
+    cache.put("b", _sized_record("w"))
+    # every put prunes back under the (absurdly small) cap
+    assert len(list((tmp_path / "cache").glob("*.json"))) <= 1
+    assert cache.evictions >= 1
+
+
+def test_cache_prune_cli(tmp_path):
+    from repro.perf.cache import main
+
+    cache = RunCache(root=tmp_path / "cache", max_bytes=10_000_000)
+    for i in range(4):
+        cache.put(f"k{i}", _sized_record(f"w{i}"))
+    assert main(["--dir", str(tmp_path / "cache"), "--stats"]) == 0
+    assert main(["--dir", str(tmp_path / "cache"), "--prune", "--max-mb",
+                 "0.000001"]) == 0
+    assert list((tmp_path / "cache").glob("*.json")) == []
+    assert main(["--dir", str(tmp_path / "cache"), "--clear"]) == 0
+
+
+def test_cache_schema_is_current():
+    from repro.perf.cache import CACHE_SCHEMA
+
+    # schema 3: run-op batching changed workload event streams and the
+    # cache grew the LRU cap — pre-existing entries must not be replayed
+    assert CACHE_SCHEMA == 3
