@@ -20,7 +20,6 @@ mechanism disabled or substituted, over a fixed mixed workload set:
 from harness import bench_config, paper_note, print_series, run_workload
 
 from repro.interconnect.routing import Geometry
-from repro.system.config import MachineConfig
 
 #: a mixed set covering sharing-heavy, all-to-all and locality-friendly
 WORKLOADS = ["fft", "ocean", "water_nsq", "barnes"]

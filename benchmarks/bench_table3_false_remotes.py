@@ -12,7 +12,6 @@ special reads, proportionally.
 
 from harness import max_procs, paper_note, print_series, run_points, sweep_point
 
-from repro.workloads import FIG14_APPS, FIG13_KERNELS
 
 PAPER_TABLE3 = {
     "cholesky": 0.5, "fmm": 1.0, "ocean": 0.3, "radiosity": 0.2,

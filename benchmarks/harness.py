@@ -33,7 +33,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import Machine, MachineConfig
 from repro.perf import RunRecord, SweepPoint, run_sweep
-from repro.workloads import SUITE, make
+from repro.workloads import make
 
 
 def compute_scale() -> float:

@@ -14,15 +14,18 @@ instrumentation exposes the problem from three angles:
   where the extra nanoseconds go, and the FIFO/bus probes show the
   resulting queueing.
 
-Artifacts (written to the current directory, viewable in Perfetto /
-``python -m repro.obs.report``):
+Artifacts (written to ``--out-dir``, default ``out/``, viewable in
+Perfetto / ``python -m repro.obs.report``):
 
 * ``numachine_trace.json`` — Chrome trace-event timeline of every
   transaction, with probe counter tracks
 * ``numachine_obs.json``   — unified metrics snapshot
 
-Run:  python examples/monitoring.py
+Run:  python examples/monitoring.py [--out-dir out]
 """
+
+import argparse
+from pathlib import Path
 
 from repro import (
     Barrier, Compute, Machine, MachineConfig, Observability, Phase, Read,
@@ -33,7 +36,11 @@ from repro.obs import write_snapshot
 from repro.obs.report import render_text
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out-dir", type=Path, default=Path("out"),
+                    help="directory for trace/snapshot artifacts (default out/)")
+    args = ap.parse_args(argv)
     config = MachineConfig.small(stations_per_ring=2, rings=2, cpus=2)
     machine = Machine(config)
     monitor = Monitor()
@@ -93,12 +100,14 @@ def main() -> None:
     snap = machine.obs_snapshot()
     print(render_text(snap, probe_limit=8))
 
-    obs.write_trace("numachine_trace.json")
-    write_snapshot("numachine_obs.json", snap)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = args.out_dir / "numachine_trace.json"
+    snap_path = args.out_dir / "numachine_obs.json"
+    obs.write_trace(str(trace_path))
+    write_snapshot(str(snap_path), snap)
     print()
-    print("wrote numachine_trace.json  (open in https://ui.perfetto.dev)")
-    print("wrote numachine_obs.json    (python -m repro.obs.report"
-          " numachine_obs.json)")
+    print(f"wrote {trace_path}  (open in https://ui.perfetto.dev)")
+    print(f"wrote {snap_path}    (python -m repro.obs.report {snap_path})")
     tr = obs.tracer.summary()
     print(f"traced {tr['finished']} transactions"
           f" ({obs.probes.samples} probe samples)")

@@ -15,7 +15,7 @@ effects of Fig. 15.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..core.states import LineState

@@ -25,9 +25,9 @@ forwarding agent with no storage — the baseline for the NC ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.states import CacheState, LineState
+from ..core.states import LineState
 from ..interconnect.packet import MsgType, Packet, acquire_packet, release_packet
 from ..sim.engine import Engine, SimulationError, ns_to_ticks
 from ..sim.fifo import Fifo
@@ -77,6 +77,8 @@ class NetworkCache:
         self.monitor = None
         #: transaction tracer (repro.obs), or None when tracing is off
         self.tracer = None
+        #: invariant checker (repro.verify), or None when checking is off
+        self.verifier = None
         self._tag_ticks = ns_to_ticks(config.nc_tag_ns)
         self._handlers = None  # mtype -> bound handler, built on first dispatch
         # hot-path tick values cached once (see MemoryModule)
@@ -126,6 +128,9 @@ class NetworkCache:
         if tr is not None:
             tr.stamp_pkt(pkt, "nc.svc", self.engine.now)
         extra = self._dispatch(pkt)
+        v = self.verifier
+        if v is not None:
+            v.nc_event(self, pkt)
         self.engine.schedule(extra or 0, self._service_done)
 
     def _service_done(self) -> None:
@@ -637,6 +642,9 @@ class NetworkCache:
             pkt = p.orig_pkt
             line.pending = None
             self._answer_intervention(pkt, list(data), p.exclusive, line)
+        v = self.verifier
+        if v is not None:
+            v.nc_settled(self, addr)
 
     # ==================================================================
     # fetch completion
@@ -907,6 +915,9 @@ class NetworkCache:
             for i in range(self.config.cpus_per_station)
             if proc_mask & (1 << i)
         ]
+        v = self.verifier
+        if v is not None:
+            v.note_local_inval(self.station_id, addr, [c.cpu_id for c in victims])
         self.out_port.send(
             0, self._cmd_ticks,
             lambda start, vs=victims, a=addr: [
@@ -925,6 +936,9 @@ class NetworkCache:
             c for c in self.station.cpus
             if keep is None or c.cpu_id != keep
         ]
+        v = self.verifier
+        if v is not None:
+            v.note_local_inval(self.station_id, addr, [c.cpu_id for c in victims])
         self.out_port.send(
             0, self._cmd_ticks,
             lambda start, vs=victims, a=addr, d=include_dirty: [

@@ -22,7 +22,7 @@ paper's inexactness costs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set
 
 from ..interconnect.routing import RoutingMaskCodec

@@ -62,6 +62,8 @@ class Processor:
         self.page_attrs: Optional[Callable[[int], object]] = None
         #: transaction tracer (repro.obs), or None when tracing is off
         self.tracer = None
+        #: invariant checker (repro.verify), or None when checking is off
+        self.verifier = None
         # timing in ticks
         self._cpu = config.cpu_cycle_ticks
         self._l1_hit = config.l1_hit_cpu_cycles * self._cpu
@@ -361,6 +363,9 @@ class Processor:
         tr = self.tracer
         if tr is not None:
             tr.begin(self.cpu_id, kind, la, self.engine.now)
+        v = self.verifier
+        if v is not None:
+            v.cpu_issue(self, la)
         self.engine.schedule(self._miss_detect, self._send_request)
 
     def _send_request(self) -> None:
@@ -421,6 +426,9 @@ class Processor:
         if tr is not None:
             # no network transaction and no latency sample: drop the trace
             tr.abandon(self.cpu_id)
+        v = self.verifier
+        if v is not None:
+            v.cpu_local_complete(self)
         la, addr = p["la"], p["addr"]
         line = self.l2.lookup(la)
         idx = self._word_index(addr)
@@ -443,6 +451,9 @@ class Processor:
             # a grant we no longer wait for (e.g. duplicate); install data
             if data is not None:
                 self._install(la, data, exclusive)
+                v = self.verifier
+                if v is not None:
+                    v.cpu_fill(self, la, exclusive, consumed=False)
             return
         self._pending = None
         if data is None:
@@ -458,6 +469,9 @@ class Processor:
                 l1.state = CacheState.DIRTY
         else:
             self._install(la, data, exclusive)
+        v = self.verifier
+        if v is not None:
+            v.cpu_fill(self, la, exclusive, consumed=True)
         line = self.l2.lookup(la)
         addr, idx = p["addr"], self._word_index(p["addr"])
         if p["kind"] == "read":
@@ -577,6 +591,9 @@ class Processor:
     # coherence actions against this CPU's caches
     # ------------------------------------------------------------------
     def invalidate_line(self, la: int, only_shared: bool = False) -> None:
+        v = self.verifier
+        if v is not None:
+            v.cpu_invalidated(self, la)
         if only_shared:
             line = self.l2.lookup(la, touch=False)
             if line is not None and line.state is CacheState.DIRTY:

@@ -1,0 +1,146 @@
+"""Fault plans: seeded, explicit, replayable fault schedules.
+
+A plan is data, not behaviour — it can be printed, stored next to a failing
+seed and handed to :class:`repro.fault.FaultInjector` to reproduce a run
+exactly.  :meth:`FaultPlan.random` derives a plan deterministically from a
+seed and a machine config, which is what the protocol fuzzer uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: every fault kind the injector understands
+FAULT_KINDS = ("link_stall", "packet_delay", "packet_dup", "service_spike")
+
+#: "forever" in ticks for permanent stalls (far beyond any bench horizon)
+PERMANENT_TICKS = 1 << 42
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault.
+
+    ``kind`` selects the mechanism; ``at_ns`` is the (simulated) activation
+    time; ``params`` the kind-specific knobs:
+
+    * ``link_stall`` — ``ring`` ("local:<i>" or "central"), ``pos`` (link
+      index), ``duration_ns`` (or ``permanent: True`` — loss-class)
+    * ``packet_delay`` — ``station``, ``duration_ns`` (window length),
+      ``prob`` (per-packet), ``delay_ns`` (added latency)
+    * ``packet_dup`` — ``station``, ``duration_ns``, ``prob`` (loss-class:
+      duplicated NACKs can double-retry into data loss by design)
+    * ``service_spike`` — ``target`` ("mem" or "nc"), ``station``,
+      ``duration_ns``, ``factor`` (latency multiplier)
+    """
+
+    kind: str
+    at_ns: float
+    params: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass
+class FaultPlan:
+    """A complete, deterministic fault schedule for one run."""
+
+    seed: int
+    events: List[FaultEvent] = field(default_factory=list)
+    #: override every ring-interface / inter-ring FIFO capacity (squeeze)
+    in_fifo_capacity: Optional[int] = None
+    #: override the per-station nonsinkable-message bound
+    nonsink_limit: Optional[int] = None
+
+    def fault_class(self) -> str:
+        """``delay`` if every fault only reshuffles timing (the run must
+        produce identical final data), ``loss`` if any fault can drop or
+        duplicate information (the run must detect-and-report)."""
+        for ev in self.events:
+            if ev.kind == "packet_dup":
+                return "loss"
+            if ev.kind == "link_stall" and ev.params.get("permanent"):
+                return "loss"
+        return "delay"
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}", f"class={self.fault_class()}"]
+        if self.in_fifo_capacity is not None:
+            parts.append(f"fifo_cap={self.in_fifo_capacity}")
+        if self.nonsink_limit is not None:
+            parts.append(f"nonsink={self.nonsink_limit}")
+        for ev in self.events:
+            parts.append(f"{ev.kind}@{ev.at_ns:.0f}ns{ev.params}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        config,
+        horizon_ns: float = 50_000.0,
+        max_events: int = 4,
+        allow_loss: bool = False,
+    ) -> "FaultPlan":
+        """Derive a plan deterministically from ``seed``.
+
+        Delay-class only unless ``allow_loss``: the fuzzer's must-pass runs
+        assert data identity, which loss-class faults legitimately break.
+        """
+        rng = random.Random(seed ^ 0x5EED_FA17)
+        events: List[FaultEvent] = []
+        kinds = ["link_stall", "packet_delay", "service_spike"]
+        if allow_loss:
+            kinds.append("packet_dup")
+        num_stations = config.num_stations
+        stations_per_ring = config.geometry.levels[0]
+        num_local_rings = max(1, num_stations // stations_per_ring)
+        for _ in range(rng.randint(1, max_events)):
+            kind = rng.choice(kinds)
+            at_ns = rng.uniform(0.0, horizon_ns * 0.6)
+            if kind == "link_stall":
+                if num_local_rings > 1 and rng.random() < 0.3:
+                    ring = "central"
+                    pos = rng.randrange(num_local_rings)
+                else:
+                    ring = f"local:{rng.randrange(num_local_rings)}"
+                    pos = rng.randrange(stations_per_ring + 1)
+                params = {
+                    "ring": ring,
+                    "pos": pos,
+                    "duration_ns": rng.uniform(200.0, horizon_ns / 4),
+                }
+                if allow_loss and rng.random() < 0.2:
+                    params["permanent"] = True
+                events.append(FaultEvent("link_stall", at_ns, params))
+            elif kind == "packet_delay":
+                events.append(FaultEvent("packet_delay", at_ns, {
+                    "station": rng.randrange(num_stations),
+                    "duration_ns": rng.uniform(500.0, horizon_ns / 2),
+                    "prob": rng.uniform(0.05, 0.5),
+                    "delay_ns": rng.uniform(100.0, 2_000.0),
+                }))
+            elif kind == "service_spike":
+                events.append(FaultEvent("service_spike", at_ns, {
+                    "target": rng.choice(["mem", "nc"]),
+                    "station": rng.randrange(num_stations),
+                    "duration_ns": rng.uniform(500.0, horizon_ns / 2),
+                    "factor": rng.randint(2, 10),
+                }))
+            else:  # packet_dup (loss-class)
+                events.append(FaultEvent("packet_dup", at_ns, {
+                    "station": rng.randrange(num_stations),
+                    "duration_ns": rng.uniform(500.0, horizon_ns / 2),
+                    "prob": rng.uniform(0.05, 0.3),
+                }))
+        plan = cls(seed=seed, events=events)
+        if rng.random() < 0.4:
+            plan.in_fifo_capacity = rng.choice([8, 12, 16, 32])
+        if rng.random() < 0.3:
+            plan.nonsink_limit = rng.choice([1, 2, 4, 8])
+        return plan

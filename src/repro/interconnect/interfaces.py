@@ -65,6 +65,8 @@ class StationRingInterface:
         "_drain_busy",
         "stats",
         "tracer",
+        "verifier",
+        "fault_filter",
     )
 
     def __init__(
@@ -113,6 +115,11 @@ class StationRingInterface:
         self.stats = StatGroup(f"S{station_id}.ri")
         #: transaction tracer (repro.obs), or None when tracing is off
         self.tracer = None
+        #: invariant checker (repro.verify), or None when checking is off
+        self.verifier = None
+        #: fault-injection interceptor (repro.fault); returns True when it
+        #: consumed the packet (delayed re-send), or None when faults are off
+        self.fault_filter = None
         engine.blocked_watchers.append(self._blocked_reason)
 
     # ------------------------------------------------------------------
@@ -120,6 +127,9 @@ class StationRingInterface:
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> None:
         """Inject a message from this station into the network."""
+        ff = self.fault_filter
+        if ff is not None and ff(self, packet):
+            return
         if packet.born < 0:
             packet.born = self.engine.now
         tr = self.tracer
@@ -132,6 +142,9 @@ class StationRingInterface:
                 return
             self._nonsink_credits -= 1
             packet.credit_home = self
+            v = self.verifier
+            if v is not None:
+                v.ri_credit(self)
         self._route_prep(packet)
         packet.send_enq = self.engine.now
         # packet generator formatting latency, then the output FIFO
@@ -147,6 +160,9 @@ class StationRingInterface:
             self.engine.schedule(self.pkt_gen_ticks, self._enqueue_out, packet)
         else:
             self._nonsink_credits += 1
+            v = self.verifier
+            if v is not None:
+                v.ri_credit(self)
 
     def _route_prep(self, packet: Packet) -> None:
         codec = self.codec
@@ -282,6 +298,9 @@ class StationRingInterface:
             return
         self._drain_busy = True
         packet = queue.pop(self.engine.now)
+        v = self.verifier
+        if v is not None:
+            v.ri_drain(self, packet, kind)
         cycles = self.cmd_bus_ticks + (
             self.line_bus_ticks if packet.data is not None else 0
         )

@@ -71,6 +71,8 @@ class MemoryModule:
         self.monitor = None
         #: transaction tracer (repro.obs), or None when tracing is off
         self.tracer = None
+        #: invariant checker (repro.verify), or None when checking is off
+        self.verifier = None
         self._lookup_ticks = ns_to_ticks(config.dir_sram_ns)
         self._handlers = None  # mtype -> bound handler, built on first dispatch
         # hot-path tick values cached once (config properties recompute
@@ -125,6 +127,9 @@ class MemoryModule:
         if tr is not None:
             tr.stamp_pkt(pkt, "mem.svc", self.engine.now)
         extra = self._dispatch(pkt)
+        v = self.verifier
+        if v is not None:
+            v.mem_event(self, pkt)
         self.engine.schedule(extra or 0, self._service_done)
 
     def _service_done(self) -> None:
@@ -702,6 +707,9 @@ class MemoryModule:
             meta={"home": self.station_id, "writer_station": req_station},
         )
         self.stats.counter("invalidates_sent").incr()
+        v = self.verifier
+        if v is not None:
+            v.note_invalidate_sent(self, inv)
         self._send_packet(inv, has_data=False)
 
     def _send_packet(self, pkt: Packet, has_data: bool, delay: int = 0) -> None:
@@ -769,6 +777,9 @@ class MemoryModule:
                     meta={"prefetch": pending.extra.get("prefetch", False)},
                 )
                 self._send_data(fake, list(data), exclusive=False)
+        v = self.verifier
+        if v is not None:
+            v.mem_settled(self, addr)
 
     def _invalidate_local(self, addr: int, entry: DirEntry, keep: Optional[int]) -> None:
         """Invalidate local secondary-cache copies over the bus (one
@@ -784,6 +795,9 @@ class MemoryModule:
             for i in range(self.config.cpus_per_station)
             if mask & (1 << i)
         ]
+        v = self.verifier
+        if v is not None:
+            v.note_local_inval(self.station_id, addr, [c.cpu_id for c in victims])
         entry.proc_mask &= ~mask
         self.out_port.send(
             0, self._cmd_ticks,

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Tuple
 
-from ..interconnect.packet import MsgType, Packet
+from ..interconnect.packet import Packet
 from .histogram import HistogramTable
 
 

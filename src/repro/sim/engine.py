@@ -37,7 +37,7 @@ import time as _time
 from functools import partial as _partial
 from typing import Any, Callable, Optional
 
-from .sched import CalendarQueue, HeapScheduler, make_scheduler
+from .sched import HeapScheduler, make_scheduler
 
 #: Integer ticks per nanosecond.  3 makes both a 6.67ns CPU cycle (20 ticks)
 #: and a 20ns bus/ring cycle (60 ticks) exact.
@@ -87,6 +87,7 @@ class Engine:
         "_running",
         "blocked_watchers",
         "wall_time_s",
+        "watchdog",
     )
 
     #: Priorities (lower runs first at equal time).
@@ -111,6 +112,8 @@ class Engine:
         self.blocked_watchers: list[Callable[[], Optional[str]]] = []
         #: cumulative wall-clock seconds spent inside :meth:`run`
         self.wall_time_s: float = 0.0
+        #: liveness watchdog (repro.fault.Watchdog), or None when disabled
+        self.watchdog = None
 
     def _bind_scheduler(self) -> None:
         if isinstance(self._sched, HeapScheduler):
@@ -185,7 +188,38 @@ class Engine:
         """Process events until the queue drains or limits are reached.
 
         Returns the number of events processed in this call.
+
+        With a watchdog attached the loop runs in chunks of
+        ``watchdog.interval`` events, giving the watchdog a chance to bound
+        runaway time/event growth between chunks; without one this is a
+        single uninterrupted :meth:`_run_core` call (the hot path pays only
+        this attribute load).
         """
+        wd = self.watchdog
+        if wd is None:
+            return self._run_core(until, max_events)
+        if max_events is not None:
+            max_events = max(1, max_events)
+        processed = 0
+        interval = wd.interval
+        while True:
+            step = interval
+            if max_events is not None:
+                remaining = max_events - processed
+                if remaining <= 0:
+                    break
+                if remaining < step:
+                    step = remaining
+            n = self._run_core(until, step)
+            processed += n
+            wd.check(self, processed)
+            if n < step:
+                break
+        return processed
+
+    def _run_core(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
         processed = 0
         # limit semantics match the original post-increment check: any
         # max_events <= 0 still lets exactly one event run.

@@ -23,7 +23,6 @@ handle natively), :func:`nc_dispatch` (ditto for the network cache), and
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from ..core.states import CacheState, LineState
 from ..interconnect.packet import MsgType, Packet

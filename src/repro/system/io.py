@@ -15,8 +15,8 @@ Programs drive it through ``SoftOp("io_read"| "io_write", ...)`` (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..interconnect.packet import MsgType, Packet
 from ..sim.engine import Engine, ns_to_ticks

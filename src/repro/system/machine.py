@@ -18,7 +18,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from ..interconnect.topology import Interconnect, build_interconnect
 from ..interconnect.interfaces import StationRingInterface
@@ -83,6 +83,9 @@ class Machine:
             cpu.page_attrs = self.memory_map.attrs_for
         self.monitor = None  # set via attach_monitor()
         self.obs = None  # set via attach_observability()
+        self.verifier = None  # set via attach_verifier()
+        self.watchdog = None  # set via attach_watchdog()
+        self.fault = None  # set via attach_fault()
 
     # ------------------------------------------------------------------
     # memory allocation
@@ -110,6 +113,36 @@ class Machine:
         """Install a :class:`repro.obs.Observability` layer (transaction
         tracer + time-series probes) across all components."""
         obs.attach(self)
+
+    def attach_verifier(self, verifier=None):
+        """Install a :class:`repro.verify.CoherenceChecker` across all
+        components (null-object pattern: zero cost when not attached, and
+        bit-identical event streams when attached)."""
+        if verifier is None:
+            from ..verify import CoherenceChecker
+
+            verifier = CoherenceChecker()
+        verifier.attach(self)
+        return verifier
+
+    def attach_watchdog(self, watchdog=None, **kwargs):
+        """Install a :class:`repro.fault.Watchdog` bounding simulated
+        time and/or event count; overruns raise a diagnostic
+        :class:`repro.fault.WatchdogError` instead of hanging."""
+        if watchdog is None:
+            from ..fault import Watchdog
+
+            watchdog = Watchdog(self, **kwargs)
+        return watchdog.attach()
+
+    def attach_fault(self, plan):
+        """Apply a :class:`repro.fault.FaultPlan` via a
+        :class:`repro.fault.FaultInjector`; must be called before
+        :meth:`run`."""
+        from ..fault import FaultInjector
+
+        self.fault = FaultInjector(plan).attach(self)
+        return self.fault
 
     def obs_snapshot(self, include_wall: bool = True) -> dict:
         """The unified metrics snapshot (see :mod:`repro.obs.registry`);
@@ -149,14 +182,21 @@ class Machine:
                 break
             if until is not None or max_events is not None:
                 break
-        self.engine.check_quiescent()
+        try:
+            self.engine.check_quiescent()
+        except DeadlockError as exc:
+            raise self._deadlock(exc) from None
         running = [
             cpu for cpu in self.cpus if cpu.program is not None and not cpu.done
         ]
         if self.engine.pending == 0 and running:
-            raise DeadlockError(
-                f"programs never finished on cpus {[c.cpu_id for c in running]}"
+            raise self._deadlock(
+                DeadlockError(
+                    f"programs never finished on cpus {[c.cpu_id for c in running]}"
+                )
             )
+        if self.engine.pending == 0 and self.verifier is not None:
+            self.verifier.assert_quiescent()
         finish = {
             cpu.cpu_id: ticks_to_ns(cpu.finished_at)
             for cpu in self.cpus
@@ -168,6 +208,18 @@ class Machine:
             events=self.engine.events_run - start_events,
             cpu_finish_ns=finish,
         )
+
+    def _deadlock(self, exc: DeadlockError) -> DeadlockError:
+        """Enrich a drained-queue deadlock with the watchdog's diagnostic
+        dump when a watchdog is attached (already-wrapped errors pass
+        through unchanged)."""
+        if self.watchdog is None:
+            return exc
+        from ..fault import WatchdogError
+
+        if isinstance(exc, WatchdogError):
+            return exc
+        return self.watchdog.deadlock_error(exc)
 
     # ------------------------------------------------------------------
     # metrics used by the benches (Figs. 15-18, Table 3)

@@ -1,0 +1,38 @@
+"""Runtime coherence invariant checking (the verification sibling of
+:mod:`repro.obs`).
+
+The checker observes memory / network-cache state transitions through the
+same null-object hook pattern the tracer uses: every component carries a
+``verifier`` attribute that is ``None`` by default, and the hot paths guard
+each hook call with ``v = self.verifier; if v is not None: ...`` — so a run
+with checking disabled pays one attribute load per hook site, and a run
+with checking *enabled* is bit-identical in (events, now) to a disabled
+run, because the checker never schedules events, never draws packet ids and
+never mutates simulation state.
+
+Checked invariants (see :class:`CoherenceChecker` for the exact
+formulations, which account for the protocol's *designed* transients such
+as ack-free invalidation):
+
+* ``single-writer`` — at most one L2 in the machine holds a line DIRTY
+* ``writer-reader-exclusion`` — an exclusive grant excludes readers on the
+  same station (bus ordering makes this exact)
+* ``proc-mask-coverage`` — directory processor masks over-approximate the
+  true local sharer set (modulo invalidations already on the bus)
+* ``routing-mask-coverage`` — routing masks may over-deliver but never
+  under-deliver; GI lines always name at least one owner station
+* ``legal-transition`` — the LV/LI/GV/GI transition table, plus "a locked
+  line's state only changes at unlock"
+* ``locked-liveness`` — no line stays locked beyond a bounded sim time
+* ``sc-blocking`` — one outstanding miss per CPU, monotonically completed
+  (the R4400 blocking property sequential consistency rests on)
+* ``nonsink-priority`` — nonsinkable credits stay within bounds and a
+  nonsinkable message never drains while a sinkable one is queued
+
+Violations raise :class:`InvariantViolation` carrying the guilty line, the
+module, the packet id that triggered the check and a replayable seed.
+"""
+
+from .checker import CoherenceChecker, InvariantViolation
+
+__all__ = ["CoherenceChecker", "InvariantViolation"]

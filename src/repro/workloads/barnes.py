@@ -18,9 +18,9 @@ tiny instance against the direct O(n^2) sum.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute
 from .base import BarrierFactory, SharedArray, Workload, block_range
 
 #: tree node fields, one shared word each

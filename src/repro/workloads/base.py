@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..cpu.ops import AtomicRMW, Barrier, Compute, Phase, Read, Write
+from ..cpu.ops import AtomicRMW, Barrier, Read, Write
 from ..system.machine import Machine
 
 

@@ -19,7 +19,7 @@ import cmath
 import math
 from typing import List, Sequence
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute
 from .base import BarrierFactory, SharedMatrix, Workload, block_range
 
 

@@ -21,7 +21,7 @@ import cmath
 import math
 from typing import List, Sequence, Tuple
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute
 from .base import BarrierFactory, SharedArray, Workload, block_range
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..cpu.ops import Compute, ReadRun, WriteRun
-from .base import BarrierFactory, SharedMatrix, Workload, WorkloadResult
+from .base import BarrierFactory, SharedMatrix, Workload
 
 
 class _LUBase(Workload):

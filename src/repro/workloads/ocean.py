@@ -17,9 +17,9 @@ drops below tolerance.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute
 from .base import (
     BarrierFactory,
     SharedArray,

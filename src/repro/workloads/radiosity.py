@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute
 from .base import (
     BarrierFactory,
     SharedArray,

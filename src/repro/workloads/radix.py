@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute
 from .base import BarrierFactory, SharedArray, Workload, block_range
 
 

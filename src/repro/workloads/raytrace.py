@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute
 from .base import BarrierFactory, SharedArray, Workload, fetch_add
 
 Vec = Tuple[float, float, float]

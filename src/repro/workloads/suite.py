@@ -14,7 +14,7 @@ sizes for users with more patience.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from .barnes import Barnes
 from .cholesky import Cholesky

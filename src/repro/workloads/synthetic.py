@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..cpu.ops import AtomicRMW, Compute, Read, SoftOp, Write
-from .base import BarrierFactory, SharedArray, Workload, block_range
+from .base import BarrierFactory, SharedArray, Workload
 
 
 class UniformAccess(Workload):

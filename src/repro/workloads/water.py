@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence, Tuple
 
-from ..cpu.ops import Compute, Read, Write
+from ..cpu.ops import Compute
 from .base import (
     BarrierFactory,
     SharedArray,

@@ -2,7 +2,7 @@
 examples, GI intervention forwarding, ownership transfer, and the optimistic
 upgrade machinery (§2.3, §4.6)."""
 
-from repro import Barrier, Machine, MachineConfig, Read, Write
+from repro import Barrier, Machine, Read, Write
 from repro.core.states import CacheState, LineState
 
 from conftest import small_config

@@ -6,9 +6,9 @@ import pytest
 from repro import Machine, MachineConfig, MsgType, Packet
 from repro.interconnect.routing import Geometry
 from repro.interconnect.topology import build_interconnect
-from repro.sim.engine import Engine, ns_to_ticks
+from repro.sim.engine import Engine
 
-from conftest import small_config, tiny_config
+from conftest import small_config
 
 
 def _capture_machine(cfg):

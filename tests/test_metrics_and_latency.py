@@ -3,7 +3,7 @@ contention-free latency reproduction."""
 
 import pytest
 
-from repro import Barrier, Machine, Read, Write
+from repro import Barrier, Machine, Read
 from repro.analysis.latency import (
     PAPER_TABLE1,
     SCENARIOS,

@@ -4,7 +4,7 @@ write-backs, barrier registers, interrupts."""
 from repro import AtomicRMW, Barrier, Compute, Machine, Read, Write
 from repro.core.states import CacheState
 
-from conftest import single, small_config, tiny_config
+from conftest import single, small_config
 
 
 def test_read_after_write_hits_cache():

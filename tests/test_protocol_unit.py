@@ -2,7 +2,6 @@
 with crafted packets (no workload in the loop) and assert the Fig. 5 /
 Fig. 6 transitions, NACK behaviour, and stale-answer filtering."""
 
-import pytest
 
 from repro import Machine, MsgType, Packet
 from repro.core.states import LineState

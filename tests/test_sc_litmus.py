@@ -9,7 +9,7 @@ non-SC outcome unobservable.
 
 import pytest
 
-from repro import Barrier, Compute, Machine, Read, Write
+from repro import Compute, Machine, Read, Write
 
 from conftest import small_config
 

@@ -15,7 +15,7 @@ import random
 import pytest
 
 from repro import AtomicRMW, Barrier, Compute, Machine, MachineConfig, Read, Write
-from repro.core.states import CacheState, LineState
+from repro.core.states import CacheState
 from repro.interconnect.routing import Geometry
 
 from conftest import small_config

@@ -28,7 +28,6 @@ def test_lu_matches_reference(cls, nprocs):
 
 def test_lu_matches_numpy():
     import numpy as np
-    import scipy.linalg
 
     m = Machine(small_config())
     wl = LUContiguous(n=16, block=4)
