@@ -1,0 +1,61 @@
+"""Quick cross-backend bit-identity check (development aid).
+
+Runs hotspot and LU on small + prototype machines under both backends and
+compares the full machine fingerprint.  Exits nonzero on any mismatch.
+"""
+
+import sys
+
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.workloads.lu import LUContiguous
+from repro.workloads.synthetic import HotSpot
+
+
+def fingerprint(machine):
+    return (
+        machine.engine.events_run,
+        machine.engine.now,
+        machine.nc_stats(),
+        machine.memory_stats(),
+        machine.utilizations(),
+        machine.ring_interface_delays(),
+    )
+
+
+def run(backend, wl_factory, cfg_factory, nprocs):
+    m = Machine(cfg_factory(), backend=backend)
+    wl_factory().run(m, nprocs=nprocs)
+    return fingerprint(m), m.backend
+
+
+def main():
+    cases = [
+        ("small", lambda: MachineConfig.small(stations_per_ring=2, rings=2, cpus=2), 8),
+        ("prototype", MachineConfig.prototype, 16),
+    ]
+    workloads = [
+        ("hotspot", lambda: HotSpot(words=16, ops=60)),
+        ("lu", lambda: LUContiguous(n=16, block=4)),
+    ]
+    failed = False
+    for cname, cfg, nprocs in cases:
+        for wname, wl in workloads:
+            a, _ = run("interp", wl, cfg, nprocs)
+            b, active = run("elab", wl, cfg, nprocs)
+            ok = a == b
+            failed |= not ok
+            print(f"{cname:10s} {wname:8s} backend={active:6s} "
+                  f"{'MATCH' if ok else 'MISMATCH'}")
+            if not ok:
+                labels = ["events", "now", "nc", "mem", "util", "delays"]
+                for lbl, x, y in zip(labels, a, b):
+                    if x != y:
+                        print(f"  {lbl}:")
+                        print(f"    interp: {x}")
+                        print(f"    elab:   {y}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Backend selection and application.
+
+Two backends execute a machine:
+
+``interp``
+    the ordinary class hierarchy — every hook point (tracer, verifier,
+    monitor, fault filter) is checked on the hot paths;
+``elab``
+    the generated specialized core (:mod:`repro.elab.codegen`) — hook
+    checks deleted, constants baked in, pump loops fused.  Bit-identical
+    to ``interp`` on the canonical reporting surface (events / time /
+    ``nc_stats`` / ``memory_stats`` / ``utilizations`` /
+    ``ring_interface_delays``); observability-only telemetry (FIFO
+    depth/wait histograms, bus ``transactions``, ring ``packets_carried``,
+    CPU ``retries``) is not maintained — attach an observability hook to
+    collect it, which forces ``interp``.
+
+Selection mirrors the scheduler knob: an explicit ``Machine(backend=...)``
+argument wins, then ``NUMACHINE_BACKEND`` (``auto`` | ``interp`` | ``elab``),
+and ``auto`` uses the specialized core whenever it safely can.
+
+The elaborated core is applied by *re-classing* the already-wired component
+instances (``obj.__class__ = Generated``) — no state is copied, moved, or
+rebuilt, which is what keeps the switch exact.  Two safety rules:
+
+* **hooks force interp**: if any observability / verifier / monitor /
+  fault hook is attached (a watchdog is engine-level and stays allowed),
+  the machine runs interpreted so every hook keeps firing;
+* **no switching under in-flight events**: pending events hold bound
+  methods captured under the old classes; the backend only flips when the
+  event queue is empty (:meth:`sync` is a no-op otherwise).
+
+If elaboration fails (unsupported topology, unwritable cache dir with a
+broken generator, ...) the machine silently stays interpreted — ``auto``
+never breaks a run; an explicit ``elab`` request warns.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+BACKENDS = ("auto", "interp", "elab")
+
+
+def backend_name(pref=None) -> str:
+    """Resolve the backend choice: explicit preference > environment > auto."""
+    name = pref or os.environ.get("NUMACHINE_BACKEND") or "auto"
+    name = str(name).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}: expected one of {', '.join(BACKENDS)}"
+        )
+    return name
+
+
+def hooks_active(machine) -> bool:
+    """Any hook attached anywhere the generated code would skip it?
+
+    Scans component hook slots directly (not just the Machine-level
+    attributes) so hooks installed by hand in tests are honoured too.
+    """
+    if (
+        machine.monitor is not None
+        or machine.obs is not None
+        or machine.verifier is not None
+        or machine.fault is not None
+    ):
+        return True
+    for st in machine.stations:
+        sri = st.ring_interface
+        if (
+            sri.tracer is not None
+            or sri.verifier is not None
+            or sri.fault_filter is not None
+        ):
+            return True
+        for mod in (st.memory, st.nc):
+            if (
+                mod.monitor is not None
+                or mod.tracer is not None
+                or mod.verifier is not None
+            ):
+                return True
+        for cpu in st.cpus:
+            if cpu.tracer is not None or cpu.verifier is not None:
+                return True
+    for iri in machine.net.iris:
+        if iri.tracer is not None:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+def sync(machine) -> None:
+    """Bring the machine's active backend in line with the selection and
+    the hook state.  Called on entry to :meth:`Machine.run`; a no-op when
+    nothing changed or events are in flight."""
+    name = backend_name(machine._backend_pref)
+    want_elab = (
+        name != "interp"
+        and not getattr(machine, "_elab_failed", False)
+        and not hooks_active(machine)
+    )
+    if want_elab == machine._elab_applied:
+        return
+    if machine.engine.pending:
+        return  # pending events hold old bound methods; never swap now
+    if not want_elab:
+        _revert(machine)
+        machine._elab_applied = False
+        return
+    try:
+        from .ir import MachineIR
+        from .store import load_module
+
+        mod = load_module(MachineIR.from_machine(machine))
+        _specialize(machine, mod)
+    except Exception as exc:
+        machine._elab_failed = True
+        if name == "elab":
+            warnings.warn(
+                f"NUMACHINE_BACKEND=elab unavailable ({exc}); "
+                "running interpreted",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return
+    machine._elab_applied = True
+
+
+def ensure_interp(machine) -> None:
+    """Force the interpreted classes back in place (hook attachment)."""
+    if not machine._elab_applied:
+        return
+    if machine.engine.pending:
+        raise RuntimeError(
+            "cannot attach hooks while elaborated events are in flight; "
+            "drain the engine (run to completion) first"
+        )
+    _revert(machine)
+    machine._elab_applied = False
+
+
+# ----------------------------------------------------------------------
+def _recapture(machine) -> None:
+    """Re-capture the bound methods the ring interfaces hold: a bound
+    method pins the function of the class *at capture time*, so it must be
+    refreshed after every class swap (in either direction)."""
+    for st in machine.stations:
+        sri = st.ring_interface
+        sri.bus_granter = st.bus.request
+        sri.deliver_cb = st.deliver_from_ring
+
+
+def _specialize(machine, mod) -> None:
+    for st in machine.stations:
+        st.__class__ = mod.ElabStation
+        st.bus.__class__ = mod.ElabBus
+        st.memory.__class__ = mod.ElabMem
+        st.memory.out_port.__class__ = mod.ElabPort
+        st.nc.__class__ = mod.ElabNC
+        st.nc.out_port.__class__ = mod.ElabPort
+        for cpu in st.cpus:
+            cpu.__class__ = mod.ElabCPU
+        st.ring_interface.__class__ = mod.SRI_CLASSES[st.station_id]
+    for (level, _), ring in machine.net.rings.items():
+        ring.__class__ = mod.RING_CLASSES[level]
+    for iri in machine.net.iris:
+        iri.__class__ = mod.IRI_CLASSES[iri.name]
+    _recapture(machine)
+
+
+def _revert(machine) -> None:
+    from ..cache.network_cache import NetworkCache
+    from ..cpu.processor import Processor
+    from ..interconnect.interfaces import (
+        InterRingInterface,
+        StationRingInterface,
+    )
+    from ..interconnect.ring import Ring
+    from ..memory.memory_module import MemoryModule
+    from ..system.bus import Bus, OrderedPort
+    from ..system.station import Station
+
+    for st in machine.stations:
+        st.__class__ = Station
+        st.bus.__class__ = Bus
+        st.memory.__class__ = MemoryModule
+        st.memory.out_port.__class__ = OrderedPort
+        st.nc.__class__ = NetworkCache
+        st.nc.out_port.__class__ = OrderedPort
+        for cpu in st.cpus:
+            cpu.__class__ = Processor
+        st.ring_interface.__class__ = StationRingInterface
+    for ring in machine.net.rings.values():
+        ring.__class__ = Ring
+    for iri in machine.net.iris:
+        iri.__class__ = InterRingInterface
+    _recapture(machine)
+    _resync_telemetry(machine)
+
+
+def _resync_telemetry(machine) -> None:
+    """The specialized core does not maintain the FIFO depth integral, so
+    every fifo's ``_last_change`` clock is stale after an elab run.  Reset
+    it to *now* before interpreted code resumes its ``depth_area`` updates,
+    otherwise the first interp push/pop would integrate the whole elab era
+    at the current depth."""
+    now = machine.engine.now
+    for f in _all_fifos(machine):
+        f._last_change = now
+
+
+def _all_fifos(machine):
+    for st in machine.stations:
+        sri = st.ring_interface
+        yield from (st.memory.in_fifo, st.nc.in_fifo)
+        yield from (sri.out_fifo, sri.in_fifo, sri.sink_q, sri.nonsink_q)
+    for iri in machine.net.iris:
+        yield from (iri.up_fifo, iri.down_fifo)

@@ -22,10 +22,16 @@ Environment knobs:
   timestamp).  ``python -m repro.perf.cache --prune`` applies the same
   policy on demand; ``--stats`` and ``--clear`` are also available.
 
-Deliberately *not* part of the key: the event-scheduler choice
-(``NUMACHINE_SCHED``) and packet pooling (``NUMACHINE_POOL``).  Both are
-bit-identical by contract (pinned by ``tests/test_engine_determinism.py``),
-so a result computed under one is valid under the other.
+The execution-strategy knobs — backend (``NUMACHINE_BACKEND``), event
+scheduler (``NUMACHINE_SCHED``) and packet pooling (``NUMACHINE_POOL``) —
+are **in the key** even though all of them are bit-identical by contract
+(pinned by ``tests/test_engine_determinism.py`` and
+``tests/test_elab_backend.py``).  A cached record also stores wall-clock
+throughput, and *that* is not strategy-invariant; keying on the strategy
+keeps a perf comparison between backends honest instead of silently
+serving one backend's timings as the other's.  The specialized-core
+*module* store under ``<cache>/elab/`` (:mod:`repro.elab.store`) shares
+this directory, cap and CLI.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ from typing import Optional
 from .record import RunRecord
 
 #: bump when the RunRecord layout or key derivation changes
-CACHE_SCHEMA = 3
+CACHE_SCHEMA = 4
 
 #: default size cap for the cache directory, in bytes
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -86,6 +92,10 @@ def point_key(
             "cpus": list(cpus),
             "variant": variant,
             "scale": os.environ.get("NUMACHINE_SCALE", "1.0"),
+            # execution strategy: bit-identical results, different timings
+            "backend": os.environ.get("NUMACHINE_BACKEND", "auto"),
+            "sched": os.environ.get("NUMACHINE_SCHED", "auto"),
+            "pool": os.environ.get("NUMACHINE_POOL", "1"),
         },
         sort_keys=True,
     )
@@ -216,23 +226,34 @@ def main(argv=None) -> int:
                     help="print entry count and total size")
     args = ap.parse_args(argv)
 
-    cache = RunCache(root=Path(args.dir) if args.dir else None, enabled=True)
+    from ..elab import store as elab_store
+
+    root = Path(args.dir) if args.dir else None
+    cache = RunCache(root=root, enabled=True)
     if args.max_mb is not None:
         cache.max_bytes = int(args.max_mb * 1024 * 1024)
     did = False
     if args.clear:
         print(f"cleared {cache.clear()} entries from {cache.root}")
+        print(f"cleared {elab_store.clear(root)} generated modules from "
+              f"{elab_store.elab_dir(root)}")
         did = True
     if args.prune:
         removed = cache.prune()
         print(f"pruned {removed} entries from {cache.root} "
               f"(cap {cache.max_bytes // (1024 * 1024)} MB)")
+        removed = elab_store.prune(cache.max_bytes, root)
+        print(f"pruned {removed} generated modules from "
+              f"{elab_store.elab_dir(root)}")
         did = True
     if args.stats or not did:
         entries = cache._entries()
         total = sum(size for _, size, _ in entries)
         print(f"{cache.root}: {len(entries)} entries, {total / 1e6:.2f} MB "
               f"(schema {CACHE_SCHEMA}, cap {cache.max_bytes // (1024 * 1024)} MB)")
+        es = elab_store.stats(root)
+        print(f"{es['dir']}: {es['modules']} generated modules, "
+              f"{es['bytes'] / 1e6:.2f} MB")
     return 0
 
 

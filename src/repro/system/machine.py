@@ -44,9 +44,21 @@ class RunResult:
 class Machine:
     """A complete NUMAchine instance."""
 
-    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.config = config or MachineConfig()
         self.config.validate()
+        # simulation backend: "auto" | "interp" | "elab"; an explicit
+        # argument beats NUMACHINE_BACKEND (validated here, applied in run)
+        from ..elab import backend as _backend
+
+        self._backend_pref = backend
+        _backend.backend_name(backend)
+        self._elab_applied = False
+        self._elab_failed = False
         self.engine = Engine(num_cpus=self.config.num_cpus)
         self.net: Interconnect = build_interconnect(self.engine, self.config)
         self.codec = self.net.codec
@@ -104,6 +116,7 @@ class Machine:
     # ------------------------------------------------------------------
     def attach_monitor(self, monitor) -> None:
         """Install a :class:`repro.monitor.Monitor` across all modules."""
+        self._ensure_interp()
         self.monitor = monitor
         for st in self.stations:
             st.memory.monitor = monitor
@@ -112,12 +125,14 @@ class Machine:
     def attach_observability(self, obs) -> None:
         """Install a :class:`repro.obs.Observability` layer (transaction
         tracer + time-series probes) across all components."""
+        self._ensure_interp()
         obs.attach(self)
 
     def attach_verifier(self, verifier=None):
         """Install a :class:`repro.verify.CoherenceChecker` across all
         components (null-object pattern: zero cost when not attached, and
         bit-identical event streams when attached)."""
+        self._ensure_interp()
         if verifier is None:
             from ..verify import CoherenceChecker
 
@@ -139,10 +154,25 @@ class Machine:
         """Apply a :class:`repro.fault.FaultPlan` via a
         :class:`repro.fault.FaultInjector`; must be called before
         :meth:`run`."""
+        self._ensure_interp()
         from ..fault import FaultInjector
 
         self.fault = FaultInjector(plan).attach(self)
         return self.fault
+
+    # ------------------------------------------------------------------
+    # backend (interpreted vs elaborated core)
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The backend currently in place: ``"elab"`` when the generated
+        specialized core is active, else ``"interp"``."""
+        return "elab" if self._elab_applied else "interp"
+
+    def _ensure_interp(self) -> None:
+        from ..elab import backend as _backend
+
+        _backend.ensure_interp(self)
 
     def obs_snapshot(self, include_wall: bool = True) -> dict:
         """The unified metrics snapshot (see :mod:`repro.obs.registry`);
@@ -166,6 +196,11 @@ class Machine:
         :class:`DeadlockError` if the event queue drains while any program
         is still blocked (a protocol bug or a genuinely deadlocked workload).
         """
+        # apply the selected backend (specialized core unless hooks demand
+        # the interpreted one); a no-op while events are in flight
+        from ..elab import backend as _backend
+
+        _backend.sync(self)
         # a 64-CPU machine running 16 programs behaves like a 16-CPU run for
         # event-population purposes; refine the scheduler choice before any
         # event exists (no-op unless the engine is fresh and on auto-select)

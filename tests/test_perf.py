@@ -183,6 +183,21 @@ def test_cache_prune_cli(tmp_path):
 def test_cache_schema_is_current():
     from repro.perf.cache import CACHE_SCHEMA
 
-    # schema 3: run-op batching changed workload event streams and the
-    # cache grew the LRU cap — pre-existing entries must not be replayed
-    assert CACHE_SCHEMA == 3
+    # schema 4: the execution-strategy knobs (backend / scheduler / pool)
+    # joined the point key — entries keyed without them must not be
+    # replayed, since their recorded throughput is strategy-specific
+    assert CACHE_SCHEMA == 4
+
+
+def test_point_key_separates_execution_strategies(monkeypatch):
+    from repro.perf.cache import point_key
+
+    cfg = MachineConfig.small(stations_per_ring=2, rings=2, cpus=2)
+    monkeypatch.delenv("NUMACHINE_BACKEND", raising=False)
+    base = point_key(cfg, "hotspot", 4)
+    assert point_key(cfg, "hotspot", 4) == base  # stable
+    monkeypatch.setenv("NUMACHINE_BACKEND", "elab")
+    assert point_key(cfg, "hotspot", 4) != base
+    monkeypatch.delenv("NUMACHINE_BACKEND", raising=False)
+    monkeypatch.setenv("NUMACHINE_SCHED", "heap")
+    assert point_key(cfg, "hotspot", 4) != base
