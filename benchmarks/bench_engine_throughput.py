@@ -5,7 +5,9 @@ station's memory, the densest event traffic the simulator generates — and
 reports raw event-loop throughput from the engine's built-in meter:
 events processed, wall-clock seconds inside :meth:`Engine.run`, and
 events/second.  Results land in ``BENCH_engine.json`` next to the repo
-root so successive checkouts can be compared.
+root so successive checkouts can be compared, and every run also appends
+a provenance-stamped line (host, git sha, backend, rate) to the
+longitudinal ``BENCH_history.jsonl`` ledger (:mod:`repro.perf.ledger`).
 
 Timing uses best-of-N (min wall time over repeats) for the headline rate:
 the minimum is the least noisy estimator of the achievable rate on a
@@ -28,6 +30,7 @@ import sys
 from pathlib import Path
 
 from repro import Machine, MachineConfig
+from repro.perf import ledger
 from repro.workloads.synthetic import HotSpot
 
 #: workload knobs: big enough to amortize per-run setup, small enough for CI
@@ -44,10 +47,12 @@ def measure(repeats: int = 3) -> dict:
     best = None
     walls = []
     events = now = None
+    backend = None
     for _ in range(max(1, repeats)):
         machine = Machine(MachineConfig.prototype())
         workload = HotSpot(words=HOTSPOT_WORDS, ops=HOTSPOT_OPS)
         workload.run(machine, nprocs=NPROCS)
+        backend = machine.backend
         meter = machine.throughput()
         if events is None:
             events, now = meter["events_run"], machine.engine.now
@@ -61,6 +66,7 @@ def measure(repeats: int = 3) -> dict:
     best["repeats"] = max(1, repeats)
     best["workload"] = f"HotSpot(words={HOTSPOT_WORDS}, ops={HOTSPOT_OPS})"
     best["nprocs"] = NPROCS
+    best["backend"] = backend
     best["final_now_ticks"] = now
     # noise indicators: same event count every repeat, so the wall-time
     # median/stdev translate directly to an events/s median and spread
@@ -79,6 +85,8 @@ def write_result(result: dict, path: Path = RESULT_FILE) -> None:
     with open(path, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    # longitudinal record: one line per run in BENCH_history.jsonl
+    ledger.append_entry("engine_throughput", result)
 
 
 def test_engine_throughput(benchmark):

@@ -9,7 +9,8 @@ core, see :mod:`repro.elab`), the event count, final simulated time,
 wall-clock time and events/second.  The sweep asserts the two backends
 replay the exact same event stream at every point and records the
 ``elab_speedup`` ratio.  Results land in ``BENCH_scale.json`` at the
-repo root.
+repo root; a slim per-point digest is also appended to the longitudinal
+``BENCH_history.jsonl`` ledger (:mod:`repro.perf.ledger`).
 
 Reading the numbers
 -------------------
@@ -56,6 +57,7 @@ import sys
 from pathlib import Path
 
 from repro import Machine, MachineConfig
+from repro.perf import ledger
 from repro.sim.engine import ticks_to_ns
 from repro.workloads.lu import LUContiguous
 from repro.workloads.synthetic import HotSpot
@@ -189,6 +191,30 @@ def run_sweep(
     return result
 
 
+def ledger_summary(result: dict) -> dict:
+    """Slim per-point digest of a sweep for the BENCH_history.jsonl
+    ledger: rates and speedups only, no repeat statistics."""
+    out = {"machine": result.get("machine"), "repeats": result.get("repeats"),
+           "workloads": {}}
+    for name, sweep in result.get("workloads", {}).items():
+        points = {}
+        for p, cell in sweep.get("points", {}).items():
+            points[p] = {
+                backend: {
+                    "events_per_sec": cell[backend]["events_per_sec"],
+                    "wall_time_s": cell[backend]["wall_time_s"],
+                    "events_run": cell[backend]["events_run"],
+                    "scheduler": cell[backend]["scheduler"],
+                }
+                for backend in BACKENDS
+                if backend in cell
+            }
+            if "elab_speedup" in cell:
+                points[p]["elab_speedup"] = cell["elab_speedup"]
+        out["workloads"][name] = points
+    return out
+
+
 def check_regression(
     result: dict,
     baseline_path: Path,
@@ -298,6 +324,7 @@ def main(argv=None) -> int:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}", file=sys.stderr)
+    ledger.append_entry("scale_sweep", ledger_summary(result))
     if args.check:
         return check_regression(result, args.check, args.tolerance,
                                 args.min_ratio)

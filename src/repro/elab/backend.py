@@ -6,14 +6,19 @@ Two backends execute a machine:
     the ordinary class hierarchy — every hook point (tracer, verifier,
     monitor, fault filter) is checked on the hot paths;
 ``elab``
-    the generated specialized core (:mod:`repro.elab.codegen`) — hook
-    checks deleted, constants baked in, pump loops fused.  Bit-identical
-    to ``interp`` on the canonical reporting surface (events / time /
-    ``nc_stats`` / ``memory_stats`` / ``utilizations`` /
-    ``ring_interface_delays``); observability-only telemetry (FIFO
-    depth/wait histograms, bus ``transactions``, ring ``packets_carried``,
-    CPU ``retries``) is not maintained — attach an observability hook to
-    collect it, which forces ``interp``.
+    a generated specialized core (:mod:`repro.elab.codegen`) — constants
+    baked in, pump loops fused.  Bit-identical to ``interp`` on the
+    canonical reporting surface (events / time / ``nc_stats`` /
+    ``memory_stats`` / ``utilizations`` / ``ring_interface_delays``).
+    Two compiled variants exist, selected here per run:
+
+    * **plain** — every hook check deleted; observability-only telemetry
+      (FIFO depth/wait histograms, bus ``transactions``, ring
+      ``packets_carried``, CPU ``retries``) is not maintained;
+    * **instrumented** — tracer stamps and that telemetry compiled back
+      in inline, so tracer/probe runs execute on the elab core at full
+      speed (the obs hooks never schedule events: identical
+      ``(events_run, now)``).
 
 Selection mirrors the scheduler knob: an explicit ``Machine(backend=...)``
 argument wins, then ``NUMACHINE_BACKEND`` (``auto`` | ``interp`` | ``elab``),
@@ -23,9 +28,12 @@ The elaborated core is applied by *re-classing* the already-wired component
 instances (``obj.__class__ = Generated``) — no state is copied, moved, or
 rebuilt, which is what keeps the switch exact.  Two safety rules:
 
-* **hooks force interp**: if any observability / verifier / monitor /
-  fault hook is attached (a watchdog is engine-level and stays allowed),
-  the machine runs interpreted so every hook keeps firing;
+* **non-observability hooks force interp**: a monitor, verifier or fault
+  injector rewires behaviour the generated code cannot honour, so any of
+  them keeps the machine interpreted (a watchdog is engine-level and
+  stays allowed).  Observability hooks — tracers attached by
+  :class:`repro.obs.Observability`, probes, the telemetry stream — select
+  the *instrumented* elab variant instead of forcing interp;
 * **no switching under in-flight events**: pending events hold bound
   methods captured under the old classes; the backend only flips when the
   event queue is empty (:meth:`sync` is a no-op otherwise).
@@ -54,36 +62,46 @@ def backend_name(pref=None) -> str:
     return name
 
 
-def hooks_active(machine) -> bool:
-    """Any hook attached anywhere the generated code would skip it?
+def interp_only_hooks(machine) -> bool:
+    """Any hook attached that rewires behaviour the generated code cannot
+    honour (monitor / verifier / fault injection)?
 
     Scans component hook slots directly (not just the Machine-level
     attributes) so hooks installed by hand in tests are honoured too.
     """
     if (
         machine.monitor is not None
-        or machine.obs is not None
         or machine.verifier is not None
         or machine.fault is not None
     ):
         return True
     for st in machine.stations:
         sri = st.ring_interface
-        if (
-            sri.tracer is not None
-            or sri.verifier is not None
-            or sri.fault_filter is not None
-        ):
+        if sri.verifier is not None or sri.fault_filter is not None:
             return True
         for mod in (st.memory, st.nc):
-            if (
-                mod.monitor is not None
-                or mod.tracer is not None
-                or mod.verifier is not None
-            ):
+            if mod.monitor is not None or mod.verifier is not None:
                 return True
         for cpu in st.cpus:
-            if cpu.tracer is not None or cpu.verifier is not None:
+            if cpu.verifier is not None:
+                return True
+    return False
+
+
+def obs_hooks_active(machine) -> bool:
+    """Any observability hook (tracer / probes / telemetry stream)
+    attached?  These never perturb the event stream, so they run on the
+    *instrumented* elab variant instead of forcing interp."""
+    if machine.obs is not None:
+        return True
+    for st in machine.stations:
+        if st.ring_interface.tracer is not None:
+            return True
+        for mod in (st.memory, st.nc):
+            if mod.tracer is not None:
+                return True
+        for cpu in st.cpus:
+            if cpu.tracer is not None:
                 return True
     for iri in machine.net.iris:
         if iri.tracer is not None:
@@ -91,30 +109,49 @@ def hooks_active(machine) -> bool:
     return False
 
 
+def hooks_active(machine) -> bool:
+    """Any hook attached at all (back-compat predicate)."""
+    return interp_only_hooks(machine) or obs_hooks_active(machine)
+
+
 # ----------------------------------------------------------------------
 def sync(machine) -> None:
     """Bring the machine's active backend in line with the selection and
     the hook state.  Called on entry to :meth:`Machine.run`; a no-op when
-    nothing changed or events are in flight."""
+    nothing changed or events are in flight.
+
+    The target is three-way: interpreted (``None``), the plain elab
+    variant, or the instrumented elab variant when only observability
+    hooks are attached."""
     name = backend_name(machine._backend_pref)
-    want_elab = (
-        name != "interp"
-        and not getattr(machine, "_elab_failed", False)
-        and not hooks_active(machine)
-    )
-    if want_elab == machine._elab_applied:
+    if (
+        name == "interp"
+        or getattr(machine, "_elab_failed", False)
+        or interp_only_hooks(machine)
+    ):
+        target = None
+    elif obs_hooks_active(machine):
+        target = "instr"
+    else:
+        target = "plain"
+    current = machine._elab_variant if machine._elab_applied else None
+    if target == current:
         return
     if machine.engine.pending:
         return  # pending events hold old bound methods; never swap now
-    if not want_elab:
+    if machine._elab_applied:
         _revert(machine)
         machine._elab_applied = False
+        machine._elab_variant = None
+    if target is None:
         return
     try:
         from .ir import MachineIR
         from .store import load_module
 
-        mod = load_module(MachineIR.from_machine(machine))
+        mod = load_module(
+            MachineIR.from_machine(machine, instrumented=(target == "instr"))
+        )
         _specialize(machine, mod)
     except Exception as exc:
         machine._elab_failed = True
@@ -127,6 +164,7 @@ def sync(machine) -> None:
             )
         return
     machine._elab_applied = True
+    machine._elab_variant = target
 
 
 def ensure_interp(machine) -> None:
@@ -140,6 +178,7 @@ def ensure_interp(machine) -> None:
         )
     _revert(machine)
     machine._elab_applied = False
+    machine._elab_variant = None
 
 
 # ----------------------------------------------------------------------
@@ -198,18 +237,30 @@ def _revert(machine) -> None:
     for iri in machine.net.iris:
         iri.__class__ = InterRingInterface
     _recapture(machine)
-    _resync_telemetry(machine)
+    _resync_telemetry(
+        machine,
+        integrate=(getattr(machine, "_elab_variant", None) == "instr"),
+    )
 
 
-def _resync_telemetry(machine) -> None:
-    """The specialized core does not maintain the FIFO depth integral, so
-    every fifo's ``_last_change`` clock is stale after an elab run.  Reset
-    it to *now* before interpreted code resumes its ``depth_area`` updates,
-    otherwise the first interp push/pop would integrate the whole elab era
-    at the current depth."""
+def _resync_telemetry(machine, integrate: bool = False) -> None:
+    """The *plain* specialized core does not maintain the FIFO depth
+    integral, so every fifo's ``_last_change`` clock is stale after a
+    plain-elab run.  Reset it to *now* before interpreted code resumes its
+    ``depth_area`` updates, otherwise the first interp push/pop would
+    integrate the whole elab era at the current depth.
+
+    The *instrumented* core keeps the integral live; there the un-flushed
+    tail span ``[_last_change, now]`` is real area, so it is integrated
+    (not discarded) before the clock reset."""
     now = machine.engine.now
-    for f in _all_fifos(machine):
-        f._last_change = now
+    if integrate:
+        for f in _all_fifos(machine):
+            f._depth_area += len(f._items) * (now - f._last_change)
+            f._last_change = now
+    else:
+        for f in _all_fifos(machine):
+            f._last_change = now
 
 
 def _all_fifos(machine):

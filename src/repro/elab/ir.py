@@ -25,7 +25,7 @@ from typing import Dict, List, Tuple
 
 #: bump whenever the generated module's shape or semantics change; stale
 #: on-disk modules are ignored (their fingerprint no longer matches)
-ELAB_SCHEMA = 1
+ELAB_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -76,10 +76,15 @@ class MachineIR:
     ring_sizes: Dict[int, int] = field(default_factory=dict)  # level -> size
     stations: List[StationIR] = field(default_factory=list)
     iris: List[IriIR] = field(default_factory=list)
+    #: when True the generated core carries tracer stamps and the
+    #: observability-only telemetry (FIFO depth/wait integrals, bus
+    #: transactions, ring packets_carried, CPU retries) inline — a separate
+    #: fingerprint axis, so both variants coexist in the module store
+    instrumented: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_machine(cls, machine) -> "MachineIR":
+    def from_machine(cls, machine, instrumented: bool = False) -> "MachineIR":
         config = machine.config
         codec = machine.codec
         geometry = config.geometry
@@ -173,7 +178,7 @@ class MachineIR:
             )
 
         return cls(
-            fingerprint=config_elab_fingerprint(config),
+            fingerprint=config_elab_fingerprint(config, instrumented),
             num_levels=num_levels,
             levels=levels,
             num_stations=config.num_stations,
@@ -181,12 +186,14 @@ class MachineIR:
             ring_sizes=ring_sizes,
             stations=stations,
             iris=iris,
+            instrumented=instrumented,
         )
 
 
-def config_elab_fingerprint(config) -> str:
+def config_elab_fingerprint(config, instrumented: bool = False) -> str:
     """Digest identifying a generated module: full config, package version,
-    elaborator schema.  Any mismatch forces regeneration."""
+    elaborator schema, instrumentation axis.  Any mismatch forces
+    regeneration."""
     import dataclasses
 
     from repro import __version__
@@ -195,6 +202,7 @@ def config_elab_fingerprint(config) -> str:
         {
             "elab_schema": ELAB_SCHEMA,
             "version": __version__,
+            "instrumented": bool(instrumented),
             "config": dataclasses.asdict(config),
         },
         sort_keys=True,

@@ -4,10 +4,11 @@ Generated modules live under ``<cache>/elab/elab_<fingerprint>.py`` where
 ``<cache>`` follows the same conventions as the sweep-result cache
 (:mod:`repro.perf.cache`): ``NUMACHINE_CACHE_DIR`` or ``.numachine_cache``
 under the current working directory.  The fingerprint (config + package
-version + elaborator schema, see :mod:`repro.elab.ir`) is embedded in both
-the filename and the module's ``FINGERPRINT`` constant, so a stale module
-can never be picked up after a config or code change — its name simply no
-longer matches.
+version + elaborator schema + the ``instrumented`` axis, see
+:mod:`repro.elab.ir`) is embedded in both the filename and the module's
+``FINGERPRINT`` constant, so a stale module can never be picked up after a
+config or code change — its name simply no longer matches — and the plain
+and instrumented variants of one config coexist as separate entries.
 
 * ``NUMACHINE_CACHE=0`` disables the disk layer entirely (modules are
   generated and executed in memory every time);

@@ -9,6 +9,10 @@ perturbing them; this package is the simulator's equivalent.  It bundles:
   bus/ring utilization and NC occupancy into bounded time series;
 * :mod:`~repro.obs.registry` — the unified metrics snapshot with JSON and
   Prometheus-text exporters;
+* :class:`~repro.obs.stream.TelemetryStream` — periodic slim-snapshot JSONL
+  emission during a run, tailed live by ``python -m repro.obs.watch``;
+* :class:`~repro.obs.profile.Profiler` — the simulator *self*-profiler,
+  attributing event-loop wall time to pump sites on either backend;
 * ``python -m repro.obs.report`` — a CLI renderer for saved snapshots.
 
 :class:`Observability` is the front door::
@@ -22,6 +26,10 @@ perturbing them; this package is the simulator's equivalent.  It bundles:
 Every instrumentation hook in the simulator defaults to ``None`` and costs
 one attribute load plus an ``is not None`` test when disabled, so machines
 without an attached ``Observability`` run the PR 1 fast paths unchanged.
+Under ``NUMACHINE_BACKEND=elab`` (or ``auto``) an attached ``Observability``
+does not fall back to the interpreter: the run executes on the
+*instrumented* variant of the generated specialized core, which carries
+the tracer stamps and telemetry inline (see :mod:`repro.elab.backend`).
 """
 
 from __future__ import annotations
@@ -29,15 +37,26 @@ from __future__ import annotations
 from typing import Optional
 
 from .probes import ProbeSet
+from .profile import Profiler
 from .registry import snapshot, to_prometheus, write_snapshot
-from .trace import Tracer, TxnTrace, chrome_trace, write_chrome_trace
+from .stream import TelemetryStream
+from .trace import (
+    Tracer,
+    TxnTrace,
+    chrome_trace,
+    dump_chrome_events,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Observability",
     "ProbeSet",
+    "Profiler",
+    "TelemetryStream",
     "Tracer",
     "TxnTrace",
     "chrome_trace",
+    "dump_chrome_events",
     "write_chrome_trace",
     "snapshot",
     "to_prometheus",
@@ -58,6 +77,10 @@ class Observability:
         Enable periodic time-series sampling.
     probe_period_ns / probe_capacity:
         Sampling period and per-series ring-buffer length.
+    stream_path / stream_period_ns:
+        When ``stream_path`` is given, a :class:`TelemetryStream` appends a
+        slim snapshot line to that JSONL file every ``stream_period_ns`` of
+        simulated time (tail it with ``python -m repro.obs.watch``).
     """
 
     def __init__(
@@ -67,9 +90,16 @@ class Observability:
         probes: bool = True,
         probe_period_ns: float = 2000.0,
         probe_capacity: int = 4096,
+        stream_path=None,
+        stream_period_ns: float = 20000.0,
     ) -> None:
         self.tracer = Tracer(trace_capacity) if trace else None
         self.probes = ProbeSet(probe_period_ns, probe_capacity) if probes else None
+        self.stream = (
+            TelemetryStream(stream_path, stream_period_ns)
+            if stream_path is not None
+            else None
+        )
         self.machine = None
 
     # ------------------------------------------------------------------
@@ -119,9 +149,25 @@ class Observability:
 
     # ------------------------------------------------------------------
     def arm(self) -> None:
-        """Start probe sampling (called by :meth:`Machine.run`)."""
-        if self.probes is not None and self.machine is not None:
+        """Start probe sampling and telemetry streaming (called by
+        :meth:`Machine.run`)."""
+        if self.machine is None:
+            return
+        if self.probes is not None and self.stream is not None:
+            # let each periodic sampler see through the other's pending
+            # event when deciding whether real work remains
+            self.probes.peers = (self.stream,)
+            self.stream.peers = (self.probes,)
+        if self.probes is not None:
             self.probes.arm(self.machine.engine)
+        if self.stream is not None:
+            self.stream.arm(self.machine)
+
+    def finish_run(self) -> None:
+        """End-of-run hook from :meth:`Machine.run`: flush the final
+        telemetry-stream line (no-op without a stream)."""
+        if self.stream is not None:
+            self.stream.finish()
 
     # ------------------------------------------------------------------
     # exports
@@ -129,11 +175,13 @@ class Observability:
     def snapshot(self, include_wall: bool = True) -> dict:
         return snapshot(self.machine, include_wall=include_wall)
 
-    def chrome_trace(self) -> dict:
-        return chrome_trace(self.tracer, self.probes)
+    def chrome_trace(self, dump=None) -> dict:
+        """The Perfetto document; pass a watchdog ``diagnostic_dump`` to
+        overlay blocked components / locked lines as instant events."""
+        return chrome_trace(self.tracer, self.probes, dump)
 
-    def write_trace(self, path) -> None:
-        write_chrome_trace(path, self.tracer, self.probes)
+    def write_trace(self, path, dump=None) -> None:
+        write_chrome_trace(path, self.tracer, self.probes, dump)
 
     def write_snapshot(self, path, include_wall: bool = True) -> None:
         write_snapshot(path, self.snapshot(include_wall=include_wall))

@@ -81,6 +81,11 @@ class ProbeSet:
         self._armed = False
         self._last = 0
         self.samples = 0
+        #: other periodic samplers on the same engine (e.g. the telemetry
+        #: stream): their armed in-flight events are discounted when
+        #: deciding whether real work remains, otherwise two samplers
+        #: would keep re-arming each other forever
+        self.peers: tuple = ()
 
     # ------------------------------------------------------------------
     # registration
@@ -127,8 +132,9 @@ class ProbeSet:
             self._series[probe.name].append((now, probe.sample(dt)))
         self.samples += 1
         # Re-arm only while the machine still has work: the sampler must
-        # not keep an otherwise-drained event queue alive forever.
-        if engine.pending:
+        # not keep an otherwise-drained event queue alive forever.  Events
+        # belonging to armed peer samplers are not work.
+        if engine.pending > sum(1 for p in self.peers if p._armed):
             engine.schedule(self.period_ticks, self._tick)
         else:
             self._armed = False

@@ -138,7 +138,14 @@ def write_snapshot(path, snap: dict) -> None:
 # Prometheus text exposition
 # ----------------------------------------------------------------------
 def _esc(label: str) -> str:
-    return str(label).replace("\\", "\\\\").replace('"', '\\"')
+    # text-exposition label values escape backslash, double-quote and
+    # newline (in that order — backslash first, or the others double up)
+    return (
+        str(label)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def to_prometheus(snap: dict, prefix: str = "numachine") -> str:

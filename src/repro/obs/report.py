@@ -147,15 +147,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="output format (default: text)",
     )
     args = parser.parse_args(argv)
-    with open(args.snapshot) as fh:
-        snap = json.load(fh)
-    if args.format == "prom":
-        sys.stdout.write(to_prometheus(snap))
-    elif args.format == "json":
-        json.dump(snap, sys.stdout, indent=1)
-        sys.stdout.write("\n")
-    else:
-        print(render_text(snap))
+    try:
+        with open(args.snapshot) as fh:
+            snap = json.load(fh)
+    except OSError as exc:
+        print(
+            f"error: cannot read snapshot {args.snapshot!r}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.snapshot!r} is not a JSON snapshot "
+            f"(line {exc.lineno}: {exc.msg}); expected a file written by "
+            "Observability.write_snapshot",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.format == "prom":
+            sys.stdout.write(to_prometheus(snap))
+        elif args.format == "json":
+            json.dump(snap, sys.stdout, indent=1)
+            sys.stdout.write("\n")
+        else:
+            print(render_text(snap))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # downstream consumer (head, grep -m) closed the pipe: not an error,
+        # but Python would print a noisy traceback at interpreter shutdown
+        # unless stdout is detached first
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 

@@ -255,12 +255,78 @@ class Tracer:
         return events
 
 
-def chrome_trace(tracer: Optional[Tracer], probes=None) -> dict:
+def dump_chrome_events(dump: dict) -> List[dict]:
+    """A watchdog :func:`repro.fault.diagnostic_dump` as Chrome trace
+    instant events (``ph: i``), one per blocked component and locked line,
+    all at the dump's capture time — loaded alongside the transaction
+    trace, Perfetto pins *what was stuck* onto *when the machine stalled*.
+    """
+    ts = dump.get("now_ticks", 0) / _TICKS_PER_US
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 4,
+            "tid": 0,
+            "args": {"name": "watchdog dump"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 4,
+            "tid": 1,
+            "args": {"name": "blocked components"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 4,
+            "tid": 2,
+            "args": {"name": "locked lines"},
+        },
+    ]
+    for reason in dump.get("blocked", []):
+        events.append(
+            {
+                "name": str(reason)[:120],
+                "cat": "dump",
+                "ph": "i",
+                "s": "t",
+                "ts": ts,
+                "pid": 4,
+                "tid": 1,
+                "args": {"reason": str(reason)},
+            }
+        )
+    for section, kind in (
+        ("locked_memory_lines", "memory"),
+        ("locked_nc_lines", "nc"),
+    ):
+        for rec in dump.get(section, []):
+            events.append(
+                {
+                    "name": f"{kind} S{rec.get('station')} {rec.get('line')} "
+                    f"{rec.get('state')}",
+                    "cat": "dump",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": 4,
+                    "tid": 2,
+                    "args": dict(rec, kind=kind),
+                }
+            )
+    return events
+
+
+def chrome_trace(tracer: Optional[Tracer], probes=None, dump=None) -> dict:
     """Assemble the full Chrome trace-event JSON document.
 
     ``probes`` (a :class:`repro.obs.probes.ProbeSet`) contributes counter
     ("C") events so FIFO depths and utilizations render as Perfetto counter
-    tracks alongside the transaction slices.
+    tracks alongside the transaction slices; ``dump`` (a watchdog
+    :func:`~repro.fault.diagnostic_dump`) contributes instant events
+    marking blocked components and locked lines at the stall instant.
     """
     events: List[dict] = []
     if tracer is not None:
@@ -287,11 +353,13 @@ def chrome_trace(tracer: Optional[Tracer], probes=None) -> dict:
                         "args": {"value": v},
                     }
                 )
+    if dump is not None:
+        events.extend(dump_chrome_events(dump))
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
-def write_chrome_trace(path, tracer: Optional[Tracer], probes=None) -> None:
+def write_chrome_trace(path, tracer: Optional[Tracer], probes=None, dump=None) -> None:
     """Write the Perfetto-loadable trace JSON to ``path``."""
     with open(path, "w") as fh:
-        json.dump(chrome_trace(tracer, probes), fh)
+        json.dump(chrome_trace(tracer, probes, dump), fh)
         fh.write("\n")

@@ -59,6 +59,8 @@ class Machine:
         _backend.backend_name(backend)
         self._elab_applied = False
         self._elab_failed = False
+        # which elab variant is in place: None | "plain" | "instr"
+        self._elab_variant = None
         self.engine = Engine(num_cpus=self.config.num_cpus)
         self.net: Interconnect = build_interconnect(self.engine, self.config)
         self.codec = self.net.codec
@@ -124,7 +126,15 @@ class Machine:
 
     def attach_observability(self, obs) -> None:
         """Install a :class:`repro.obs.Observability` layer (transaction
-        tracer + time-series probes) across all components."""
+        tracer + time-series probes + optional telemetry stream) across all
+        components.
+
+        Observability does *not* force the interpreted backend: the next
+        :meth:`run` selects the instrumented elab variant, which carries
+        the tracer stamps and telemetry inline (see repro.elab.backend).
+        The revert here only re-points the component classes while the
+        engine is drained, so the swap to the instrumented core is legal.
+        """
         self._ensure_interp()
         obs.attach(self)
 
@@ -168,6 +178,12 @@ class Machine:
         """The backend currently in place: ``"elab"`` when the generated
         specialized core is active, else ``"interp"``."""
         return "elab" if self._elab_applied else "interp"
+
+    @property
+    def backend_variant(self) -> Optional[str]:
+        """Which elab variant is active: ``"plain"``, ``"instr"``, or
+        ``None`` when running interpreted."""
+        return self._elab_variant if self._elab_applied else None
 
     def _ensure_interp(self) -> None:
         from ..elab import backend as _backend
@@ -217,6 +233,9 @@ class Machine:
                 break
             if until is not None or max_events is not None:
                 break
+        if self.obs is not None:
+            # flush the final telemetry-stream line (no-op without a stream)
+            self.obs.finish_run()
         try:
             self.engine.check_quiescent()
         except DeadlockError as exc:

@@ -4,14 +4,16 @@ time-series probes, the unified metrics snapshot, and the report CLI."""
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 import pytest
 
 from repro import Machine, MachineConfig, Observability, Read, Write
 from repro.monitor import Monitor
-from repro.obs import snapshot, to_prometheus
+from repro.obs import chrome_trace, dump_chrome_events, snapshot, to_prometheus
 from repro.obs.report import main as report_main, sparkline
+from repro.obs.trace import _TICKS_PER_US
 from repro.perf import collect_record
 from repro.workloads.synthetic import HotSpot
 
@@ -263,6 +265,161 @@ def test_prometheus_export_format():
         name_part, _, value = line.rpartition(" ")
         float(value)
         assert name_part.startswith("numachine_")
+
+
+_GOLDEN = Path(__file__).resolve().parent / "data" / "prometheus_golden.txt"
+
+#: Prometheus text exposition: legal metric names ([a-zA-Z_:][a-zA-Z0-9_:]*)
+_METRIC_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+
+
+def _golden_snapshot() -> dict:
+    """A hand-built snapshot exercising every section plus the label
+    characters the exposition format must escape."""
+    return {
+        "schema": 1,
+        "meta": {"time_ns": 1234.5, "events_run": 42},
+        "counters": {"S0.mem.reads": 7, 'tricky"name': 1, "back\\slash": 2,
+                     "multi\nline": 3},
+        "accumulators": {"P0.read_latency": {"count": 4, "total": 400,
+                                             "min": 10, "max": 200,
+                                             "mean": 100.0}},
+        "utilizations": {"bus": 0.25, "ring": 0.5},
+        "fifos": {"S0.mem.in": {"depth": 1, "max_depth": 3, "mean_depth": 0.5,
+                                "pushes": 9, "stalls": 0,
+                                "wait_mean_ticks": 2.0}},
+        "histograms": {"coherence": {"name": "coherence", "rows": ["LV"],
+                                     "cols": ["read"],
+                                     "cells": [["LV", "read", 5]],
+                                     "overflows": 0}},
+        "probes": {"S0.bus.util": {"t": [0, 10], "v": [0.0, 0.75],
+                                   "unit": ""}},
+        "trace": {"finished": 2, "active": 0, "dropped": 0, "abandoned": 0,
+                  "breakdown": {"read": {"count": 2, "total_ticks": 100,
+                                         "segments": {"mem.svc": {
+                                             "count": 2, "ticks": 60}}}}},
+    }
+
+
+def test_prometheus_matches_golden_file():
+    assert to_prometheus(_golden_snapshot()) == _GOLDEN.read_text()
+
+
+def test_prometheus_label_escaping():
+    text = to_prometheus(_golden_snapshot())
+    # backslash, double-quote and newline are escaped; no raw newline may
+    # ever appear inside a label value (it would corrupt the exposition)
+    assert r'name="back\\slash"' in text
+    assert r'name="tricky\"name"' in text
+    assert r'name="multi\nline"' in text
+    for line in text.splitlines():
+        assert "\n" not in line  # trivially true, but guards the splitter
+        if not line.startswith("#") and "{" in line:
+            assert line.count("{") == 1 and "} " in line
+
+
+def test_prometheus_metric_name_legality_and_help_type_pairing():
+    machine, _obs = _observed_tiny_run()
+    machine.attach_monitor(Monitor())
+    for text in (to_prometheus(machine.obs_snapshot()),
+                 to_prometheus(_golden_snapshot())):
+        helped, typed, sampled = set(), set(), set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+            elif line.startswith("# TYPE "):
+                name, mtype = line.split()[2:4]
+                assert mtype in ("counter", "gauge")
+                assert name in helped, f"TYPE before HELP for {name}"
+                typed.add(name)
+            elif line:
+                name = line.split("{")[0].split(" ")[0]
+                assert _METRIC_RE.fullmatch(name), f"illegal metric {name!r}"
+                assert name in typed, f"sample before TYPE for {name}"
+                sampled.add(name)
+        # HELP/TYPE always come as a pair (samples may be legally absent)
+        assert helped == typed
+
+
+# ----------------------------------------------------------------------
+# watchdog dump as Perfetto instant events
+# ----------------------------------------------------------------------
+def _fake_dump() -> dict:
+    return {
+        "now_ticks": 4000,
+        "blocked": ["S0.mem.in stalled 900 ns", "P3 waiting on read"],
+        "locked_memory_lines": [
+            {"station": 0, "line": "0x1000", "state": "LV", "pending": 2},
+        ],
+        "locked_nc_lines": [
+            {"station": 1, "line": "0x2000", "state": "NOTIN", "pending": 1},
+        ],
+    }
+
+
+def test_dump_chrome_events_schema():
+    events = dump_chrome_events(_fake_dump())
+    inst = [ev for ev in events if ev["ph"] == "i"]
+    assert len(inst) == 4  # 2 blocked + 2 locked lines
+    for ev in inst:
+        assert ev["pid"] == 4
+        assert ev["s"] == "t"
+        assert ev["ts"] == pytest.approx(4000 / _TICKS_PER_US)
+        assert ev["tid"] in (1, 2)
+    kinds = {ev["args"].get("kind") for ev in inst if ev["tid"] == 2}
+    assert kinds == {"memory", "nc"}
+    json.loads(json.dumps({"traceEvents": events}))
+
+
+def test_chrome_trace_overlays_watchdog_dump():
+    _machine, obs = _observed_tiny_run()
+    doc = obs.chrome_trace(dump=_fake_dump())
+    phases = {ev["ph"] for ev in doc["traceEvents"]}
+    assert {"X", "C", "i"} <= phases  # txns + probes + dump in one document
+    bare = chrome_trace(None, None, _fake_dump())
+    assert all(ev["ph"] in ("M", "i") for ev in bare["traceEvents"])
+
+
+def test_real_watchdog_dump_renders(tmp_path):
+    """An actual run's diagnostic dump flows through the obs layer end to
+    end (the dump of a healthy drained machine is just sparse)."""
+    from repro.fault import diagnostic_dump
+
+    machine = Machine(tiny_config())
+    obs = Observability().attach(machine)
+    r = machine.allocate(256, placement="local:1")
+
+    def gen():
+        yield Read(r.addr(0))
+
+    machine.run({0: gen()})
+    dump = diagnostic_dump(machine)
+    events = dump_chrome_events(dump)
+    assert any(ev["ph"] == "M" for ev in events)
+    path = tmp_path / "trace_with_dump.json"
+    obs.write_trace(path, dump=dump)
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+# ----------------------------------------------------------------------
+# report CLI error handling
+# ----------------------------------------------------------------------
+def test_report_cli_missing_file_exits_2(tmp_path, capsys):
+    rc = report_main([str(tmp_path / "nope.json")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "error: cannot read snapshot" in err
+    assert "nope.json" in err
+
+
+def test_report_cli_non_json_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("this is not json{")
+    rc = report_main([str(bad)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "not a JSON snapshot" in err
+    assert "write_snapshot" in err
 
 
 def test_runrecord_carries_obs_summary():
