@@ -25,7 +25,7 @@ from typing import Dict, List, Tuple
 
 #: bump whenever the generated module's shape or semantics change; stale
 #: on-disk modules are ignored (their fingerprint no longer matches)
-ELAB_SCHEMA = 2
+ELAB_SCHEMA = 4
 
 
 @dataclass(frozen=True)
@@ -81,6 +81,11 @@ class MachineIR:
     #: transactions, ring packets_carried, CPU retries) inline — a separate
     #: fingerprint axis, so both variants coexist in the module store
     instrumented: bool = False
+    #: when True the generated core mirrors the transit-fusion fast path
+    #: (NUMACHINE_FUSE=on): ring sends route through the interpreted fused
+    #: ``Ring._send`` and the idle-wakeup / service-done elisions are
+    #: compiled in — a third fingerprint axis (see repro.interconnect.ring)
+    fused: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -177,8 +182,9 @@ class MachineIR:
                 )
             )
 
+        fused = bool(getattr(machine, "fused", False))
         return cls(
-            fingerprint=config_elab_fingerprint(config, instrumented),
+            fingerprint=config_elab_fingerprint(config, instrumented, fused),
             num_levels=num_levels,
             levels=levels,
             num_stations=config.num_stations,
@@ -187,13 +193,16 @@ class MachineIR:
             stations=stations,
             iris=iris,
             instrumented=instrumented,
+            fused=fused,
         )
 
 
-def config_elab_fingerprint(config, instrumented: bool = False) -> str:
+def config_elab_fingerprint(
+    config, instrumented: bool = False, fused: bool = False
+) -> str:
     """Digest identifying a generated module: full config, package version,
-    elaborator schema, instrumentation axis.  Any mismatch forces
-    regeneration."""
+    elaborator schema, instrumentation axis, transit-fusion axis.  Any
+    mismatch forces regeneration."""
     import dataclasses
 
     from repro import __version__
@@ -203,6 +212,7 @@ def config_elab_fingerprint(config, instrumented: bool = False) -> str:
             "elab_schema": ELAB_SCHEMA,
             "version": __version__,
             "instrumented": bool(instrumented),
+            "fused": bool(fused),
             "config": dataclasses.asdict(config),
         },
         sort_keys=True,

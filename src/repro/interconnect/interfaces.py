@@ -27,7 +27,7 @@ from ..sim.engine import Engine
 from ..sim.fifo import Fifo
 from ..sim.stats import StatGroup
 from .packet import Packet, ROUTE_ASCEND, ROUTE_DELIVER, ROUTE_TO_SEQ
-from .ring import Ring
+from .ring import BOUNCE_FLIT_SHIFT, Ring, fusion_enabled
 from .routing import RoutingMaskCodec
 
 #: travel-mode values kept in ``Packet.route_state``
@@ -60,9 +60,14 @@ class StationRingInterface:
         "nonsink_q",
         "_pending_out",
         "_nonsink_credits",
+        "_bounce_base",
         "_out_busy",
         "_handler_busy",
         "_drain_busy",
+        "fused",
+        "events_fused",
+        "_out_done_key",
+        "_out_free",
         "stats",
         "tracer",
         "verifier",
@@ -102,6 +107,8 @@ class StationRingInterface:
         self.seq_ticks = seq_ticks
         #: station-position bit index within the level-0 field
         self.station_bit = codec.geometry.station_coords(station_id)[0]
+        #: content-key base for ring-delivery tail bounces (see ring.py)
+        self._bounce_base = ring._bbase | pos << BOUNCE_FLIT_SHIFT
 
         self.out_fifo = Fifo(f"S{station_id}.ri.out", capacity=None)
         self.in_fifo = Fifo(f"S{station_id}.ri.in", capacity=in_fifo_capacity)
@@ -112,6 +119,14 @@ class StationRingInterface:
         self._out_busy = False
         self._handler_busy = False
         self._drain_busy = False
+        #: idle-port wakeup elision (NUMACHINE_FUSE): when the output FIFO
+        #: is empty at inject time the ``_out_done`` relay is deferred
+        #: rather than scheduled (see _pump_out / _enqueue_out); the
+        #: content key keeps its tie-break position identical either way
+        self.fused = fusion_enabled()
+        self.events_fused = 0
+        self._out_done_key = ~engine.alloc_uid()
+        self._out_free: Optional[int] = None
         self.stats = StatGroup(f"S{station_id}.ri")
         #: transaction tracer (repro.obs), or None when tracing is off
         self.tracer = None
@@ -176,7 +191,21 @@ class StationRingInterface:
             packet.route_state = ASCEND
 
     def _enqueue_out(self, packet: Packet) -> None:
-        self.out_fifo.push(packet, self.engine.now)
+        now = self.engine.now
+        self.out_fifo.push(packet, now)
+        free = self._out_free
+        if free is not None:
+            # a deferred idle wakeup is outstanding: materialize it if it
+            # has not notionally fired yet, else absorb it (the unfused
+            # done — content-keyed — ran before this counter-keyed event)
+            self._out_free = None
+            if free > now:
+                self.events_fused -= 1
+                self.engine.schedule_keyed_at(
+                    free, self._out_done_key, self._out_done, priority=1
+                )
+            else:
+                self._out_busy = False
         self._pump_out()
 
     def _pump_out(self) -> None:
@@ -201,14 +230,29 @@ class StationRingInterface:
         if tr is not None:
             tr.stamp_pkt(packet, "ring.inject", start)
         done = start + packet.flits * self.ring.slot_ticks
-        self.engine.schedule_at(done, self._out_done)
+        if self.fused and self.out_fifo.empty:
+            # nothing to pump at ``done``: defer the relay (idle elision)
+            self._out_free = done
+            self.events_fused += 1
+            return
+        self.engine.schedule_keyed_at(
+            done, self._out_done_key, self._out_done, priority=1
+        )
 
     def _out_done(self) -> None:
         self._out_busy = False
         self._pump_out()
 
     def _local_loopback(self, packet: Packet) -> None:
-        self._accept(packet)
+        # Loopbacks are not anchored to a ring arrival, so their tail
+        # bounce stays counter-keyed (the arrival-derived bounce key's
+        # uniqueness argument does not cover them) — and transit fusion
+        # consequently leaves the loopback path alone.
+        tail = (packet.flits - 1) * self.ring.slot_ticks
+        if tail:
+            self.engine.schedule(tail, self._accept_body, packet)
+            return
+        self._accept_body(packet)
 
     # ------------------------------------------------------------------
     # ring member: arrivals on the local ring
@@ -247,27 +291,83 @@ class StationRingInterface:
             ring.forward(self.pos, packet)
 
     def _deliver_after_seq(self, packet: Packet) -> None:
-        self.ring_arrival(self.ring, packet)
+        # Deliver logic inlined from ring_arrival, with a counter-keyed
+        # tail bounce: this entry is not anchored to a ring arrival, so the
+        # arrival-derived bounce key's per-tick uniqueness argument does
+        # not cover it.  Only TO_SEQ packets reach here, and fusion always
+        # stops at the sequencing point, so both modes schedule these at
+        # identical stream positions.
+        fld = self.codec.field(packet.dest_mask, 0)
+        mybit = 1 << self.station_bit
+        if fld & mybit:
+            remaining = fld & ~mybit
+            packet.dest_mask = self.codec.with_field(packet.dest_mask, 0, remaining)
+            if remaining:
+                copy = packet.copy_for_branch()
+                self._accept_seq(copy)
+                self.ring.forward(self.pos, packet)
+            else:
+                self._accept_seq(packet)
+        else:
+            self.ring.forward(self.pos, packet)
 
     def _accept(self, packet: Packet) -> None:
-        """Downward path entry: the input FIFO between ring and handler.
-        Multi-flit messages finish arriving ``(flits-1)`` slots after their
-        head (cut-through tail lag)."""
+        """Downward path entry for ring deliveries: the input FIFO between
+        ring and handler.  Multi-flit messages finish arriving
+        ``(flits-1)`` slots after their head (cut-through tail lag); the
+        bounce event carries an arrival-derived content key so the fused
+        tail-lag merge can reproduce it exactly (see ring.py)."""
         tail = (packet.flits - 1) * self.ring.slot_ticks
-        if tail and not packet.tail_done:
-            packet.tail_done = True
-            self.engine.schedule(tail, self._accept, packet)
+        if tail:
+            engine = self.engine
+            engine._push(
+                (engine.now + tail, 0, self._bounce_base | packet.flits,
+                 self._accept_body, packet)
+            )
             return
-        packet.tail_done = False
+        self._accept_body(packet, True)
+
+    def _accept_seq(self, packet: Packet) -> None:
+        """Tail-lag gate for sequencing-point re-deliveries (counter-keyed,
+        see :meth:`_deliver_after_seq`)."""
+        tail = (packet.flits - 1) * self.ring.slot_ticks
+        if tail:
+            self.engine.schedule(tail, self._accept_body, packet)
+            return
+        self._accept_body(packet)
+
+    def _accept_body(self, packet: Packet, in_arrival: bool = False) -> None:
+        # in_arrival: called synchronously from inside this position's
+        # arrival event (single-flit fast path) rather than from the
+        # tail-lag bounce or a counter-keyed gate — the backpressure halt
+        # below then precedes same-tick arrivals at higher positions, which
+        # the fused conflict test must know (see Ring.halt_link)
         packet.arr = self.engine.now
         tr = self.tracer
         if tr is not None:
             tr.stamp_pkt(packet, "ri.arrive", self.engine.now)
         self.in_fifo.push(packet, self.engine.now)
         if self.in_fifo.pressured:
-            self.ring.halt_link(self.pos, self.ring.slot_ticks * 4)
+            self.ring.halt_link(self.pos, self.ring.slot_ticks * 4, in_arrival)
             self.stats.counter("input_halts").incr()
         self._pump_handler()
+
+    def _fused_accept(self, packet: Packet) -> None:
+        """Fused final delivery: the skipped sole-target arrival would have
+        cleared the level-0 field and bounced once for the tail lag — do
+        the clear here and run the post-tail accept body directly."""
+        packet.dest_mask = self.codec.with_field(packet.dest_mask, 0, 0)
+        self._accept_body(packet)
+
+    def fuse_profile(self, ring: Ring) -> tuple:
+        """Transit-fusion descriptor (see :class:`~repro.interconnect.ring.
+        RingMember`): a station passes ascending packets, passes ordered
+        multicasts unless it is the ring's sequencing point (single-ring
+        machines), and consumes deliveries addressed to its level-0 bit."""
+        codec = self.codec
+        dbm = codec.with_field(0, 0, 1 << self.station_bit)
+        others = codec._field_masks[0] & ~dbm
+        return (dbm, others, True, ring.seq_pos != self.pos, self._fused_accept)
 
     def _pump_handler(self) -> None:
         if self._handler_busy or self.in_fifo.empty:
@@ -352,6 +452,12 @@ class InterRingInterface:
         "down_fifo",
         "_up_busy",
         "_down_busy",
+        "fused",
+        "events_fused",
+        "_up_done_key",
+        "_up_free",
+        "_down_done_key",
+        "_down_free",
         "stats",
         "tracer",
     )
@@ -383,6 +489,14 @@ class InterRingInterface:
         self.down_fifo = Fifo(f"{name}.down", capacity=fifo_capacity)
         self._up_busy = False
         self._down_busy = False
+        #: idle-port wakeup elision, one per direction (see the station
+        #: ring interface's _pump_out / _enqueue_out)
+        self.fused = fusion_enabled()
+        self.events_fused = 0
+        self._up_done_key = ~engine.alloc_uid()
+        self._up_free: Optional[int] = None
+        self._down_done_key = ~engine.alloc_uid()
+        self._down_free: Optional[int] = None
         self.stats = StatGroup(name)
         #: transaction tracer (repro.obs), or None when tracing is off
         self.tracer = None
@@ -395,6 +509,20 @@ class InterRingInterface:
             self._parent_arrival(packet)
         else:  # pragma: no cover - wiring error
             raise RuntimeError(f"{self.name} got packet from unknown ring")
+
+    def fuse_profile(self, ring: Ring) -> tuple:
+        """Transit-fusion descriptor.  On the child ring the switch stops
+        every ascending packet (it is the up link) and every ordered
+        multicast when it is the sequencing point; deliver-mode packets
+        have no bit at the switch position and pass through.  On the parent
+        ring it behaves like a station, keyed on the parent-level field."""
+        if ring is self.child:
+            return (0, 0, False, self.child.seq_pos != self.child_pos, None)
+        codec = self.codec
+        lvl = self.parent.level
+        dbm = codec.with_field(0, lvl, 1 << self.parent_pos)
+        others = codec._field_masks[lvl] & ~dbm
+        return (dbm, others, True, self.parent.seq_pos != self.parent_pos, None)
 
     # ---- child ring side ---------------------------------------------
     def _child_arrival(self, packet: Packet) -> None:
@@ -421,7 +549,18 @@ class InterRingInterface:
         packet.up_enq = self.engine.now
         self.up_fifo.push(packet, self.engine.now)
         if self.up_fifo.pressured:
-            self.child.halt_link(self.child_pos, self.child.slot_ticks * 4)
+            # always called from inside the child-ring arrival event here
+            self.child.halt_link(self.child_pos, self.child.slot_ticks * 4, True)
+        free = self._up_free
+        if free is not None:
+            self._up_free = None
+            if free > self.engine.now:
+                self.events_fused -= 1
+                self.engine.schedule_keyed_at(
+                    free, self._up_done_key, self._up_done, priority=1
+                )
+            else:
+                self._up_busy = False
         self._pump_up()
 
     def _pump_up(self) -> None:
@@ -450,7 +589,13 @@ class InterRingInterface:
         if tr is not None:
             tr.stamp_pkt(packet, "iri.up_inject", start)
         done = start + packet.flits * self.parent.slot_ticks
-        self.engine.schedule_at(done, self._up_done)
+        if self.fused and self.up_fifo.empty:
+            self._up_free = done
+            self.events_fused += 1
+            return
+        self.engine.schedule_keyed_at(
+            done, self._up_done_key, self._up_done, priority=1
+        )
 
     def _up_done(self) -> None:
         self._up_busy = False
@@ -505,7 +650,18 @@ class InterRingInterface:
             tr.stamp_pkt(packet, "iri.down_enq", self.engine.now)
         self.down_fifo.push(packet, self.engine.now)
         if self.down_fifo.pressured:
-            self.parent.halt_link(self.parent_pos, self.parent.slot_ticks * 4)
+            # always called from inside the parent-ring arrival event here
+            self.parent.halt_link(self.parent_pos, self.parent.slot_ticks * 4, True)
+        free = self._down_free
+        if free is not None:
+            self._down_free = None
+            if free > self.engine.now:
+                self.events_fused -= 1
+                self.engine.schedule_keyed_at(
+                    free, self._down_done_key, self._down_done, priority=1
+                )
+            else:
+                self._down_busy = False
         self._pump_down()
 
     def _pump_down(self) -> None:
@@ -524,7 +680,13 @@ class InterRingInterface:
         if tr is not None:
             tr.stamp_pkt(packet, "iri.down_inject", start)
         done = start + packet.flits * self.child.slot_ticks
-        self.engine.schedule_at(done, self._down_done)
+        if self.fused and self.down_fifo.empty:
+            self._down_free = done
+            self.events_fused += 1
+            return
+        self.engine.schedule_keyed_at(
+            done, self._down_done_key, self._down_done, priority=1
+        )
 
     def _down_done(self) -> None:
         self._down_busy = False

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional
 from ..core.directory import DirEntry, Directory
 from ..core.states import LineState
 from ..interconnect.packet import MsgType, Packet, acquire_packet, release_packet
+from ..interconnect.ring import fusion_enabled
 from ..sim.engine import Engine, SimulationError, ns_to_ticks
 from ..sim.fifo import Fifo
 from ..sim.stats import StatGroup
@@ -86,6 +87,10 @@ class MemoryModule:
         #: transaction ids stamp each lock instance so stale intervention
         #: answers from an earlier, already-resolved round are ignored
         self._txn = 0
+        #: service-done relay fusion (NUMACHINE_FUSE); see NetworkCache
+        self.fused = fusion_enabled()
+        self.events_fused = 0
+        self._done_key = ~engine.alloc_uid()
 
     # ==================================================================
     # data storage
@@ -130,7 +135,22 @@ class MemoryModule:
         v = self.verifier
         if v is not None:
             v.mem_event(self, pkt)
-        self.engine.schedule(extra or 0, self._service_done)
+        # Content-keyed done event; zero-extra dones merge into the service
+        # event when fusion is on (exactness argument in NetworkCache).
+        engine = self.engine
+        if extra:
+            engine.schedule_keyed_at(
+                engine.now + extra, self._done_key, self._service_done,
+                priority=1,
+            )
+        elif self.fused:
+            self.events_fused += 1
+            self._busy = False
+            self._pump()
+        else:
+            engine.schedule_keyed_at(
+                engine.now, self._done_key, self._service_done, priority=1
+            )
 
     def _service_done(self) -> None:
         self._busy = False

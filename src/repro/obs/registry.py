@@ -92,15 +92,25 @@ def snapshot(machine, include_wall: bool = True) -> dict:
         counters[ring.packets_carried.name] = ring.packets_carried.value
         counters[ring.halts.name] = ring.halts.value
 
+    meta = {
+        "time_ticks": now,
+        "time_ns": ticks_to_ns(now),
+        "events_run": engine.events_run,
+        "num_stations": machine.config.num_stations,
+        "num_cpus": len(machine.cpus),
+    }
+    counts = getattr(machine, "event_counts", None)
+    if counts is not None:
+        # transit fusion (NUMACHINE_FUSE): macro-events vs the equivalent
+        # hop-by-hop event count, so fused and unfused runs stay comparable
+        ec = counts()
+        meta["fuse"] = ec["fuse"]
+        meta["events_fused"] = ec["fused"]
+        meta["events_cancelled"] = ec["cancels"]
+        meta["events_hop_equivalent"] = ec["hop_equivalent"]
     snap = {
         "schema": SNAPSHOT_SCHEMA,
-        "meta": {
-            "time_ticks": now,
-            "time_ns": ticks_to_ns(now),
-            "events_run": engine.events_run,
-            "num_stations": machine.config.num_stations,
-            "num_cpus": len(machine.cpus),
-        },
+        "meta": meta,
         "counters": counters,
         "accumulators": accumulators,
         "fifos": {f.name: f.stats_snapshot(now) for f in _fifos(machine)},
@@ -165,6 +175,12 @@ def to_prometheus(snap: dict, prefix: str = "numachine") -> str:
            [((), meta.get("time_ns", 0))])
     metric("events_total", "engine events processed", "counter",
            [((), meta.get("events_run", 0))])
+    if "events_hop_equivalent" in meta:
+        metric("events_fused_total", "hop events elided by transit fusion",
+               "counter", [((), meta.get("events_fused", 0))])
+        metric("events_hop_equivalent_total",
+               "events the hop-by-hop walk would have run", "counter",
+               [((), meta.get("events_hop_equivalent", 0))])
 
     metric("counter_total", "component event counters", "counter",
            [((("name", k),), v) for k, v in sorted(snap.get("counters", {}).items())])

@@ -23,8 +23,9 @@ Environment knobs:
   policy on demand; ``--stats`` and ``--clear`` are also available.
 
 The execution-strategy knobs — backend (``NUMACHINE_BACKEND``), event
-scheduler (``NUMACHINE_SCHED``) and packet pooling (``NUMACHINE_POOL``) —
-are **in the key** even though all of them are bit-identical by contract
+scheduler (``NUMACHINE_SCHED``), packet pooling (``NUMACHINE_POOL``) and
+transit fusion (``NUMACHINE_FUSE``) — are **in the key** even though all
+of them are bit-identical by contract on the canonical surface
 (pinned by ``tests/test_engine_determinism.py`` and
 ``tests/test_elab_backend.py``).  A cached record also stores wall-clock
 throughput, and *that* is not strategy-invariant; keying on the strategy
@@ -43,10 +44,11 @@ import os
 from pathlib import Path
 from typing import Optional
 
+from ..interconnect.ring import fusion_mode
 from .record import RunRecord
 
 #: bump when the RunRecord layout or key derivation changes
-CACHE_SCHEMA = 4
+CACHE_SCHEMA = 5
 
 #: default size cap for the cache directory, in bytes
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -96,6 +98,7 @@ def point_key(
             "backend": os.environ.get("NUMACHINE_BACKEND", "auto"),
             "sched": os.environ.get("NUMACHINE_SCHED", "auto"),
             "pool": os.environ.get("NUMACHINE_POOL", "1"),
+            "fuse": fusion_mode(),
         },
         sort_keys=True,
     )

@@ -11,6 +11,10 @@ overwrites.
 Entries are append-only and host-stamped: rates from different hosts are
 not comparable (see ``bench_scale.host_fingerprint``), so any consumer
 should group by the ``host`` fingerprint before drawing trend lines.
+Each entry also stamps the ambient transit-fusion mode (``NUMACHINE_FUSE``
+at append time); a bench that sweeps both modes in one process carries the
+per-point mode inside its ``result`` payload as well, since event counts
+and wall rates are not comparable across fusion modes.
 """
 
 from __future__ import annotations
@@ -23,8 +27,10 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from ..interconnect.ring import fusion_mode
+
 #: bump when the per-line layout changes incompatibly
-LEDGER_SCHEMA = 1
+LEDGER_SCHEMA = 2
 
 #: default ledger location: the repository root
 DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_history.jsonl"
@@ -69,6 +75,7 @@ def make_entry(bench: str, result: dict) -> dict:
         "bench": bench,
         "git_sha": git_sha(),
         "host": host_fingerprint(),
+        "fuse": fusion_mode(),
         "result": result,
     }
 

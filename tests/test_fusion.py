@@ -1,0 +1,152 @@
+"""Transit fusion (``NUMACHINE_FUSE=on``) — the exactness contract.
+
+Fusion is an execution strategy, not a model change: collapsing a
+deterministic chain of ring pass-through hops into one closed-form
+macro-event must leave the canonical reporting surface — final simulated
+time, ``nc_stats`` / ``memory_stats`` / ``utilizations`` /
+``ring_interface_delays`` — bit-identical to the hop-by-hop run, while
+only ``events_run`` shrinks.  These tests pin that contract across
+processor counts, schedulers and backends; exercise the segment
+reservation table's conflict repair under backpressure storms; and unit
+test the O(1) tombstone cancellation it is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.system.config import MachineConfig
+from repro.system.machine import Machine
+from repro.workloads.synthetic import HotSpot
+
+
+def _surface(machine: Machine) -> tuple:
+    """The canonical reporting surface (everything except event counts)."""
+    return (
+        machine.engine.now,
+        machine.nc_stats(),
+        machine.memory_stats(),
+        machine.utilizations(),
+        machine.ring_interface_delays(),
+    )
+
+
+def _run(backend: str, nprocs: int, config: MachineConfig = None) -> tuple:
+    machine = Machine(config or MachineConfig.prototype(), backend=backend)
+    HotSpot(words=16, ops=40).run(machine, nprocs=nprocs)
+    assert machine.backend == backend
+    return _surface(machine), machine.event_counts()
+
+
+# ----------------------------------------------------------------------
+# cross-mode bit-identity: {off, on} x {interp, elab} x {heap, calendar} x P
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("nprocs", [4, 16, 64])
+def test_fused_surface_bit_identical(monkeypatch, nprocs):
+    prints = {}
+    for sched in ("heap", "calendar"):
+        monkeypatch.setenv("NUMACHINE_SCHED", sched)
+        by_mode = {}
+        for fuse in ("off", "on"):
+            monkeypatch.setenv("NUMACHINE_FUSE", fuse)
+            surf_i, counts_i = _run("interp", nprocs)
+            surf_e, counts_e = _run("elab", nprocs)
+            # backend bit-identity holds *within* a fusion mode on the
+            # full surface including the macro-event count
+            assert (surf_i, counts_i) == (surf_e, counts_e), (
+                f"interp/elab mismatch under {sched} fuse={fuse}"
+            )
+            assert counts_i["fuse"] == fuse
+            by_mode[fuse] = (surf_i, counts_i)
+        off_surf, off_counts = by_mode["off"]
+        on_surf, on_counts = by_mode["on"]
+        # fusion changes only the event count: the surface is bit-identical
+        assert on_surf == off_surf, f"fused surface diverged under {sched}"
+        # the unfused run fuses nothing; the fused run accounts for every
+        # elided hop exactly (tombstone pops subtracted back out)
+        assert off_counts["fused"] == 0 and off_counts["cancels"] == 0
+        assert off_counts["hop_equivalent"] == off_counts["events"]
+        assert on_counts["hop_equivalent"] == off_counts["events"]
+        if nprocs >= 16:
+            assert on_counts["fused"] > 0
+            assert on_counts["events"] < off_counts["events"]
+        prints[sched] = (off_surf, on_surf)
+    assert prints["heap"] == prints["calendar"]
+
+
+# ----------------------------------------------------------------------
+# conflict repair: backpressure halts must cancel and replay fused transits
+# ----------------------------------------------------------------------
+def test_contention_storm_repairs_fused_transits(monkeypatch):
+    """A hot-spot behind shrunken input FIFOs raises halt_link storms that
+    land inside fused windows: each one must cancel the macro arrival,
+    roll the skipped links back and replay hop-by-hop — without moving a
+    single bit of the canonical surface."""
+
+    def storm(fuse: str) -> tuple:
+        monkeypatch.setenv("NUMACHINE_FUSE", fuse)
+        config = MachineConfig.prototype()
+        config.ring_in_fifo_capacity = 6
+        machine = Machine(config, backend="interp")
+        HotSpot(words=8, ops=60).run(machine, nprocs=16)
+        halts = sum(r.halts.value for r in machine.net.rings.values())
+        return _surface(machine), machine.event_counts(), halts
+
+    surf_on, counts_on, halts_on = storm("on")
+    surf_off, counts_off, halts_off = storm("off")
+    assert halts_on > 0, "storm did not trigger backpressure halts"
+    assert counts_on["cancels"] > 0, "no fused transit was ever repaired"
+    assert counts_on["fused"] > counts_on["cancels"]
+    assert surf_on == surf_off
+    assert halts_on == halts_off
+    assert counts_on["hop_equivalent"] == counts_off["events"]
+
+
+# ----------------------------------------------------------------------
+# tombstone cancellation: O(1), scheduler-agnostic, accounted
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("sched", ["heap", "calendar"])
+def test_cancel_tombstone(sched):
+    engine = Engine(scheduler=sched)
+    assert engine.scheduler_name == sched
+    fired = []
+    doomed = engine.schedule_cancellable_at(10, lambda: fired.append("doomed"))
+    engine.schedule_cancellable_at(10, fired.append, arg="kept")
+    assert engine.cancel(doomed) is True
+    assert engine.cancel(doomed) is False  # second cancel is a no-op
+    assert engine.cancels == 1
+    engine.run()
+    assert fired == ["kept"]
+    # the tombstoned tuple still popped as one (empty) event
+    assert engine.events_run == 2
+    assert engine.now == 10
+
+
+@pytest.mark.parametrize("sched", ["heap", "calendar"])
+def test_cancel_after_fire_returns_false(sched):
+    engine = Engine(scheduler=sched)
+    fired = []
+    handle = engine.schedule_cancellable_at(5, fired.append, arg="x")
+    engine.run()
+    assert fired == ["x"]
+    assert engine.cancel(handle) is False
+    assert engine.cancels == 0
+
+
+@pytest.mark.parametrize("sched", ["heap", "calendar"])
+def test_cancelled_key_slot_is_reusable(sched):
+    """Repair can push a replacement event at the *exact* (time, priority,
+    key) of a cancelled fused arrival; tuple comparison then reaches the
+    callback slot and must not raise (Cancellable compares neither-less)."""
+    engine = Engine(scheduler=sched)
+    fired = []
+    stale = engine.schedule_cancellable_keyed_at(
+        7, 0x5A5A, lambda p: fired.append(("stale", p)), arg=1
+    )
+    engine.cancel(stale)
+    engine.schedule_keyed_at(7, 0x5A5A, lambda p: fired.append(("live", p)), arg=2)
+    engine.run()
+    assert fired == [("live", 2)]
+    assert engine.events_run == 2
+    assert engine.cancels == 1

@@ -183,10 +183,11 @@ def test_cache_prune_cli(tmp_path):
 def test_cache_schema_is_current():
     from repro.perf.cache import CACHE_SCHEMA
 
-    # schema 4: the execution-strategy knobs (backend / scheduler / pool)
-    # joined the point key — entries keyed without them must not be
-    # replayed, since their recorded throughput is strategy-specific
-    assert CACHE_SCHEMA == 4
+    # schema 5: transit fusion (NUMACHINE_FUSE) joined the strategy knobs
+    # (backend / scheduler / pool) in the point key — entries keyed without
+    # it must not be replayed, since events_run and throughput differ
+    # between fusion modes
+    assert CACHE_SCHEMA == 5
 
 
 def test_point_key_separates_execution_strategies(monkeypatch):
@@ -194,6 +195,7 @@ def test_point_key_separates_execution_strategies(monkeypatch):
 
     cfg = MachineConfig.small(stations_per_ring=2, rings=2, cpus=2)
     monkeypatch.delenv("NUMACHINE_BACKEND", raising=False)
+    monkeypatch.delenv("NUMACHINE_FUSE", raising=False)
     base = point_key(cfg, "hotspot", 4)
     assert point_key(cfg, "hotspot", 4) == base  # stable
     monkeypatch.setenv("NUMACHINE_BACKEND", "elab")
@@ -201,3 +203,13 @@ def test_point_key_separates_execution_strategies(monkeypatch):
     monkeypatch.delenv("NUMACHINE_BACKEND", raising=False)
     monkeypatch.setenv("NUMACHINE_SCHED", "heap")
     assert point_key(cfg, "hotspot", 4) != base
+    monkeypatch.delenv("NUMACHINE_SCHED", raising=False)
+    monkeypatch.setenv("NUMACHINE_FUSE", "on")
+    fused = point_key(cfg, "hotspot", 4)
+    assert fused != base
+    # the knob is normalized before keying: every spelling of "on" shares
+    # one entry
+    monkeypatch.setenv("NUMACHINE_FUSE", "1")
+    assert point_key(cfg, "hotspot", 4) == fused
+    monkeypatch.setenv("NUMACHINE_FUSE", "off")
+    assert point_key(cfg, "hotspot", 4) == base
