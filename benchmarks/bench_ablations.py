@@ -15,7 +15,26 @@ mechanism disabled or substituted, over a fixed mixed workload set:
   bandwidth for no latency win.
 * **ring hierarchy** — the 4x4 two-level hierarchy vs one flat 16-station
   ring with the same processor count.
+* **coherence protocol** — the full NUMAchine protocol vs the flat
+  full-map MSI baseline (``config.protocol = "msi"``: exact global sharer
+  map, network cache bypassed) — what do the hierarchical masks and the
+  NC buy, end to end?
+
+Besides the pytest-benchmark entry points, this file is an executable:
+
+    python benchmarks/bench_ablations.py [--procs 16,64]   # protocol table
+    python benchmarks/bench_ablations.py --check           # fingerprint gate
+
+``--check`` re-runs every point of ``tests/data/protocol_fingerprints.json``
+and asserts the default protocol's canonical surface is bit-identical —
+the same gate ``tests/test_protocols.py`` applies, available to CI steps
+that do not run the test suite.
 """
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from harness import bench_config, paper_note, print_series, run_workload
 
@@ -166,3 +185,162 @@ def test_ablation_ring_hierarchy(benchmark):
                "stations were connected by a single ring' (§2)")
     # the flat ring's longer average path should not win
     assert ratio > 0.9
+
+
+# ----------------------------------------------------------------------
+# coherence-protocol ablation (also the CLI entry point below)
+# ----------------------------------------------------------------------
+#: canonical protocol-comparison workloads — the same pair the fingerprint
+#: fixture pins, so CLI numbers and pinned numbers share one surface
+def _protocol_workloads():
+    from repro.workloads.lu import LUContiguous
+    from repro.workloads.synthetic import HotSpot
+
+    return {
+        "hotspot": lambda: HotSpot(words=16, ops=40),
+        "lu": lambda: LUContiguous(n=16, block=4),
+    }
+
+
+def _protocol_point(protocol: str, wname: str, nprocs: int) -> dict:
+    """One uncached run on the plain prototype config; returns the row
+    metrics.  Plain (no compute_scale) so the numbers line up with the
+    fingerprint fixture and EXPERIMENTS.md."""
+    from repro import Machine, MachineConfig
+
+    cfg = MachineConfig.prototype()
+    cfg.protocol = protocol  # explicit: wins over ambient NUMACHINE_PROTOCOL
+    machine = Machine(cfg)
+    result = _protocol_workloads()[wname]().run(machine, nprocs=nprocs)
+    nc, mem = machine.nc_stats(), machine.memory_stats()
+    util = machine.utilizations()
+    served = nc.get("hits", 0) + nc.get("misses", 0)
+    return {
+        "time_ns": result.parallel_time_ns,
+        "nc_hit_pct": 100.0 * nc.get("hits", 0) / served if served else 0.0,
+        "nc_hits": nc.get("hits", 0),
+        "false_remotes": mem.get("false_remote_bounces", 0),
+        "bus_util": util["bus"],
+        "ring_util": util["local_ring"],
+        "events_per_sec": machine.engine.events_per_sec,
+    }
+
+
+def test_ablation_coherence_protocol(benchmark):
+    def run():
+        out = {}
+        for proto in ("numachine", "msi"):
+            total = 0.0
+            nc_hits = 0
+            for wname in _protocol_workloads():
+                row = _protocol_point(proto, wname, PROCS)
+                total += row["time_ns"]
+                nc_hits += row["nc_hits"]
+            out[proto] = {"time": total, "nc_hits": nc_hits}
+        return out
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "Ablation: NUMAchine protocol vs flat full-map MSI",
+        ["protocol", "total us", "NC hits"],
+        [[p, v["time"] / 1e3, v["nc_hits"]] for p, v in r.items()],
+    )
+    paper_note("the NC and hierarchical masks are §3.1.4/§4.6's case for "
+               "the two-level protocol; MSI is the ablation baseline")
+    # MSI bypasses the NC entirely: it can never score an NC hit
+    assert r["msi"]["nc_hits"] == 0
+    assert r["numachine"]["nc_hits"] > 0
+    # and losing combining/migration/caching should not make things faster
+    assert r["numachine"]["time"] <= r["msi"]["time"]
+
+
+# ----------------------------------------------------------------------
+# CLI: protocol comparison table + fingerprint gate
+# ----------------------------------------------------------------------
+_FIXTURE = Path(__file__).resolve().parent.parent / "tests" / "data" / \
+    "protocol_fingerprints.json"
+
+
+def _check_fingerprints(path: Path) -> int:
+    """Re-run every fixture point and diff the canonical surface."""
+    import json
+    import os
+
+    from repro import Machine, MachineConfig
+    from repro.protocol import canonical_surface
+
+    fix = json.loads(Path(path).read_text())
+    workloads = _protocol_workloads()
+    failures = []
+    for key, want in sorted(fix["points"].items()):
+        wname, pfield, sched = key.split("|")
+        nprocs = int(pfield[1:])
+        prev = os.environ.get("NUMACHINE_SCHED")
+        os.environ["NUMACHINE_SCHED"] = sched
+        try:
+            cfg = MachineConfig.prototype()
+            cfg.protocol = fix["protocol"]
+            machine = Machine(cfg)
+            workloads[wname]().run(machine, nprocs=nprocs)
+        finally:
+            if prev is None:
+                os.environ.pop("NUMACHINE_SCHED", None)
+            else:
+                os.environ["NUMACHINE_SCHED"] = prev
+        # normalize through JSON so float/int representations match the file
+        got = json.loads(json.dumps(canonical_surface(machine)))
+        if got == want:
+            print(f"ok   {key}: now={got['now']}")
+        else:
+            diff = [f for f in sorted(want) if got.get(f) != want[f]]
+            failures.append(key)
+            print(f"FAIL {key}: fields differ: {', '.join(diff)}")
+    print(f"fingerprint check: {len(fix['points']) - len(failures)}/"
+          f"{len(fix['points'])} points identical ({fix['protocol']!r} "
+          f"protocol, {fix['config']} config)")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="python benchmarks/bench_ablations.py",
+        description="Coherence-protocol ablation table / fingerprint gate.",
+    )
+    ap.add_argument("--procs", default="16,64",
+                    help="comma-separated processor counts (default 16,64)")
+    ap.add_argument("--check", action="store_true",
+                    help="verify the default protocol's canonical surface "
+                    "against tests/data/protocol_fingerprints.json")
+    args = ap.parse_args(argv)
+
+    if args.check:
+        return _check_fingerprints(_FIXTURE)
+
+    procs = [int(p) for p in args.procs.split(",") if p]
+    rows = []
+    for proto in ("numachine", "msi"):
+        for wname in _protocol_workloads():
+            for p in procs:
+                r = _protocol_point(proto, wname, p)
+                rows.append([
+                    proto, wname, p, r["time_ns"] / 1e3,
+                    r["nc_hit_pct"], r["false_remotes"],
+                    100.0 * r["bus_util"], 100.0 * r["ring_util"],
+                    r["events_per_sec"],
+                ])
+    print_series(
+        "Coherence-protocol ablation (plain prototype config)",
+        ["protocol", "workload", "P", "time us", "NC hit %",
+         "false remotes", "bus util %", "ring util %", "ev/s"],
+        rows,
+    )
+    paper_note("MSI disables the network cache and uses an exact global "
+               "sharer map; NUMAchine's wins come from NC combining/"
+               "migration/caching and hierarchical masks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Machine, MachineConfig  # noqa: E402
 from repro.cpu.ops import AtomicRMW, Compute  # noqa: E402
+from repro.protocol import resolve_protocol_name  # noqa: E402
 from repro.fault import FaultPlan, WatchdogError  # noqa: E402
 from repro.verify import CoherenceChecker, InvariantViolation  # noqa: E402
 from repro.workloads.base import BarrierFactory, SharedArray, Workload  # noqa: E402
@@ -122,6 +123,7 @@ def fuzz_one(seed: int, sizes: Sequence[int], verbose: bool = False) -> dict:
         "seed": seed,
         "nprocs": nprocs,
         "workload": workload.name,
+        "protocol": resolve_protocol_name(cfg),
         "scheduler": scheduler,
         "spread": spread,
         "plan": plan.describe(),

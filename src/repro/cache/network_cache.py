@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.states import LineState
-from ..interconnect.packet import MsgType, Packet, acquire_packet, release_packet
+from ..interconnect.packet import MsgType, Packet, acquire_packet
 from ..interconnect.ring import fusion_enabled
 from ..sim.engine import Engine, SimulationError, ns_to_ticks
 from ..sim.fifo import Fifo
@@ -57,7 +57,18 @@ class NCPending:
 
 
 class NetworkCache:
-    """Per-station network cache + NC-side coherence engine."""
+    """Per-station network cache: storage, plumbing and shared machinery.
+
+    Like :class:`~repro.memory.memory_module.MemoryModule`, the coherence
+    state machine lives in a protocol plug-in (:mod:`repro.protocol`): a
+    subclass supplies the transition handlers and declares them in
+    ``DISPATCH``.  This base keeps the NC array, the service loop, the
+    intervention/bypass machinery, softctl handlers and the send helpers.
+    """
+
+    #: (MsgType name, handler method name) pairs — the protocol subclass's
+    #: transition table, consumed by ``_dispatch`` and the elaborator
+    DISPATCH: tuple = ()
 
     def __init__(self, engine: Engine, config, station) -> None:
         self.engine = engine
@@ -172,15 +183,10 @@ class NetworkCache:
             return self._on_local_request(pkt)
         handlers = self._handlers
         if handlers is None:
+            # built lazily once per instance from the protocol subclass's
+            # DISPATCH declaration (see MemoryModule._dispatch)
             handlers = self._handlers = {
-                MsgType.DATA_RESP: self._on_data,
-                MsgType.DATA_RESP_EX: self._on_data,
-                MsgType.NACK: self._on_nack,
-                MsgType.INVALIDATE: self._on_invalidate,
-                MsgType.INTERVENTION: self._on_intervention,
-                MsgType.INTERVENTION_EX: self._on_intervention,
-                MsgType.MULTICAST_DATA: self._on_multicast_data,
-                MsgType.KILL: self._on_kill,
+                MsgType[name]: getattr(self, fn) for name, fn in type(self).DISPATCH
             }
         handler = handlers.get(mtype)
         if handler is None:
@@ -190,113 +196,8 @@ class NetworkCache:
         return handler(pkt)
 
     # ==================================================================
-    # local processor requests
+    # request accounting (hit/miss/migration/caching counters)
     # ==================================================================
-    def _on_local_request(self, pkt: Packet) -> int:
-        if not self.enabled:
-            return self._bypass_local_request(pkt)
-        line = self.array.probe(pkt.addr)
-        op = pkt.mtype
-        cpu = pkt.requester
-        if line is not None and line.locked:
-            p = line.pending
-            if p is not None and p.kind == "fetch" and cpu != p.cpu:
-                p.combined.add(cpu)
-            ctr = self._ctr_nacks
-            if ctr is None:
-                ctr = self._ctr_nacks = self.stats.counter("nacks")
-            ctr.value += 1
-            self._nack_cpu(cpu, pkt.addr)
-            return 0
-        if line is None:
-            occupant = self.array.occupant(pkt.addr)
-            if occupant is not None and occupant.locked:
-                ctr = self._ctr_conflict_nacks
-                if ctr is None:
-                    ctr = self._ctr_conflict_nacks = self.stats.counter(
-                        "conflict_nacks"
-                    )
-                ctr.value += 1
-                self._nack_cpu(cpu, pkt.addr)
-                return 0
-            if occupant is not None:
-                self._eject(occupant)
-            line = NCLine(addr=pkt.addr, state=LineState.GI)
-            self.array.insert(line)
-            return self._start_fetch(line, op, pkt)
-        st = line.state
-        if st is LineState.GI:
-            return self._start_fetch(line, op, pkt)
-        if st is LineState.GV:
-            if op is MsgType.READ:
-                return self._serve_hit(line, cpu, exclusive=False)
-            # write permission must come from home; NC already has the data,
-            # so a dataless upgrade suffices (the response combines with it)
-            return self._start_fetch(line, MsgType.UPGRADE, pkt)
-        if st is LineState.LV:
-            if op is MsgType.READ:
-                return self._serve_hit(line, cpu, exclusive=False)
-            # coherence localization: grant exclusivity without home traffic
-            self._count_resolution(pkt, hit=True, line=line, cpu=cpu)
-            self._invalidate_local(pkt.addr, line.proc_mask, keep=cpu)
-            line.state = LineState.LI
-            line.proc_mask = 1 << self._local_index(cpu)
-            if self._cpu_has_copy(cpu, pkt.addr):
-                self._grant_cpu(cpu, pkt.addr, None, exclusive=True)
-                line.data = None
-                return 0
-            data = list(line.data) if line.data is not None else None
-            if data is None:
-                raise SimulationError(f"LV NC line {pkt.addr:#x} without data")
-            line.data = None
-            self._grant_cpu(cpu, pkt.addr, data, exclusive=True,
-                            delay=self._nc_read_ticks())
-            return self._nc_read_ticks()
-        # LI: dirty in a local secondary cache
-        owner_idx = line.proc_mask.bit_length() - 1
-        if line.proc_mask == 0:
-            raise SimulationError(f"NC LI line {pkt.addr:#x} with empty proc mask")
-        exclusive = op is not MsgType.READ
-        self._count_resolution(pkt, hit=True, line=line, cpu=cpu)
-        line.locked = True
-        line.pending = NCPending(
-            kind="local_intervention", op=op, cpu=cpu, exclusive=exclusive
-        )
-        owner = self.station.cpus[owner_idx]
-        self.out_port.send(
-            0, self._cmd_ticks,
-            lambda start, c=owner, a=pkt.addr, e=exclusive: c.handle_intervention(
-                a, e, lambda data, a2=a: self._local_intervention_done(a2, data)
-            ),
-        )
-        return 0
-
-    def _start_fetch(self, line: NCLine, op: MsgType, pkt: Packet) -> int:
-        cpu = pkt.requester
-        self._count_resolution(pkt, hit=False, line=line, cpu=cpu)
-        line.locked = True
-        line.pending = NCPending(
-            kind="fetch", op=op, cpu=cpu, first_issue=self.engine.now,
-            phase=pkt.meta.get("phase"),
-        )
-        if pkt.meta.get("prefetch"):
-            line.pending.cpu = None
-            line.pending.op = MsgType.READ
-        self._send_home(line.addr, op if op is not MsgType.SPECIAL_READ else op,
-                        cpu, retry=False, prefetch=bool(pkt.meta.get("prefetch")),
-                        phase=line.pending.phase)
-        return 0
-
-    def _serve_hit(self, line: NCLine, cpu: int, exclusive: bool) -> int:
-        self._count_hit_kind(line, cpu)
-        line.proc_mask |= 1 << self._local_index(cpu)
-        data = list(line.data) if line.data is not None else None
-        if data is None:
-            raise SimulationError(f"NC hit on {line!r} without data")
-        self._grant_cpu(cpu, line.addr, data, exclusive=exclusive,
-                        delay=self._nc_read_ticks())
-        return self._nc_read_ticks()
-
     def _count_hit_kind(self, line: NCLine, cpu: int) -> None:
         ctr = self._ctr_requests
         if ctr is None:
@@ -346,43 +247,6 @@ class NetworkCache:
     # ==================================================================
     # local write-backs (dirty L2 evictions of remote lines)
     # ==================================================================
-    def _on_local_writeback(self, pkt: Packet) -> int:
-        if not self.enabled:
-            self._forward_wb_home(pkt.addr, pkt.data)
-            return 0
-        line = self.array.probe(pkt.addr)
-        cpu = pkt.requester
-        if line is not None and line.locked:
-            p = line.pending
-            if p is not None and p.kind in ("local_intervention", "intervention"):
-                # the write-back crossed our bus intervention; use its data
-                self._local_intervention_done(pkt.addr, pkt.data, from_wb=True)
-                return self._nc_write_ticks()
-            if p is not None and p.kind == "fetch":
-                # stale WB racing a new fetch; push home so nothing is lost
-                self._forward_wb_home(pkt.addr, pkt.data)
-                return 0
-        if line is not None:
-            # normal case: LI -> LV (fig 6 LocalWrBack edge)
-            line.data = list(pkt.data)
-            line.state = LineState.LV
-            if cpu is not None:
-                line.proc_mask &= ~(1 << self._local_index(cpu))
-            line.brought_by = cpu
-            return self._nc_write_ticks()
-        occupant = self.array.occupant(pkt.addr)
-        if occupant is None:
-            # re-adopt the line: home still believes this station owns it
-            line = NCLine(
-                addr=pkt.addr, state=LineState.LV, data=list(pkt.data),
-                brought_by=cpu,
-            )
-            self.array.insert(line)
-            return self._nc_write_ticks()
-        # slot busy with another line: hand the data back to home memory
-        self._forward_wb_home(pkt.addr, pkt.data)
-        return 0
-
     def _forward_wb_home(self, addr: int, data: List) -> None:
         home = self.config.home_station(addr)
         wb = Packet(
@@ -393,105 +257,6 @@ class NetworkCache:
         )
         self.stats.counter("wb_forwarded").incr()
         self._send_packet(wb, has_data=True)
-
-    # ==================================================================
-    # responses from the network
-    # ==================================================================
-    def _on_data(self, pkt: Packet) -> int:
-        if not self.enabled:
-            return self._bypass_on_data(pkt)
-        line = self.array.probe(pkt.addr)
-        if line is None or not line.locked or line.pending is None:
-            self.stats.counter("stray_data").incr()
-            return 0
-        p = line.pending
-        p.data = list(pkt.data)
-        p.data_exclusive = pkt.mtype is MsgType.DATA_RESP_EX
-        p.inv_follows = bool(pkt.meta.get("inv_follows"))
-        self._maybe_complete(line)
-        return self._nc_write_ticks()
-
-    def _on_nack(self, pkt: Packet) -> int:
-        if not self.enabled:
-            key = (pkt.addr, pkt.requester)
-            p = self._bypass_pending.get(key)
-            if p is not None:
-                p.retries += 1
-                self.engine.schedule(
-                    self._retry_ticks,
-                    lambda a=pkt.addr, c=pkt.requester, o=p.op, ph=p.phase:
-                        self._send_home(a, o, c, retry=True, phase=ph),
-                )
-            return 0
-        line = self.array.probe(pkt.addr)
-        if line is None or not line.locked or line.pending is None:
-            return 0
-        p = line.pending
-        p.retries += 1
-        self.stats.counter("remote_retries").incr()
-        # linear-capped backoff keeps NACK storms from flooding the rings
-        self.engine.schedule(
-            self._retry_ticks * min(p.retries, 8),
-            lambda l=line: self._resend_fetch(l),
-        )
-        # the NACK carried no payload and is referenced by nothing past this
-        # dispatch; recycle it (home memory draws its NACKs from the pool)
-        release_packet(pkt)
-        return 0
-
-    def _resend_fetch(self, line: NCLine) -> None:
-        p = line.pending
-        if p is None or p.kind != "fetch":
-            return
-        self._send_home(line.addr, p.op, p.cpu, retry=True,
-                        prefetch=(p.cpu is None), phase=p.phase)
-
-    def _on_invalidate(self, pkt: Packet) -> int:
-        line = self.array.probe(pkt.addr) if self.enabled else None
-        if not self.enabled:
-            return self._bypass_on_invalidate(pkt)
-        if line is None:
-            # ejected from the NC: broadcast to all four processors (§2.3)
-            self.stats.counter("invalidate_broadcasts").incr()
-            self._invalidate_local_all(pkt.addr)
-            return 0
-        if line.locked and line.pending is not None and line.pending.kind == "fetch":
-            p = line.pending
-            ours = (
-                pkt.meta.get("writer_station") == self.station_id
-                and pkt.requester == p.cpu
-                and p.op in (MsgType.READ_EX, MsgType.UPGRADE, MsgType.SPECIAL_READ)
-            )
-            if ours:
-                p.inv_arrived = True
-                self._invalidate_local(pkt.addr, line.proc_mask, keep=p.cpu)
-                line.proc_mask &= 1 << self._local_index(p.cpu) if p.cpu is not None else 0
-                self._maybe_complete(line)
-            else:
-                # someone else's write beat us: our copies are now stale
-                p.copy_invalidated = True
-                self._invalidate_local(pkt.addr, line.proc_mask, keep=None)
-                line.proc_mask = 0
-                line.data = None
-            return 0
-        if line.state is LineState.GV:
-            self._invalidate_local(pkt.addr, line.proc_mask, keep=None)
-            line.proc_mask = 0
-            line.state = LineState.GI
-            line.data = None
-            self.stats.counter("invalidations_applied").incr()
-            return 0
-        if line.state in (LineState.LV, LineState.LI):
-            # This station owns the line exclusively, so the home directory
-            # is GI pointing here and cannot have issued a *current*
-            # invalidation: this one is from an older write epoch, still in
-            # flight when ownership moved.  Ignoring it is the only safe
-            # action — applying it would destroy the current dirty data.
-            self.stats.counter("invalidate_stale_owner").incr()
-            return 0
-        # GI: the inexact routing mask over-delivered; nothing to do (§2.3)
-        self.stats.counter("invalidate_ignored_gi").incr()
-        return 0
 
     # ==================================================================
     # interventions from the home memory
@@ -670,92 +435,6 @@ class NetworkCache:
         v = self.verifier
         if v is not None:
             v.nc_settled(self, addr)
-
-    # ==================================================================
-    # fetch completion
-    # ==================================================================
-    def _maybe_complete(self, line: NCLine) -> None:
-        p = line.pending
-        if p is None or p.kind != "fetch":
-            return
-        op = p.op
-        cfg = self.config
-        if op is MsgType.READ:
-            if p.data is None:
-                return
-            line.locked = False
-            line.pending = None
-            line.state = LineState.GV
-            line.data = list(p.data)
-            line.brought_by = p.cpu
-            if p.cpu is not None:
-                line.proc_mask = 1 << self._local_index(p.cpu)
-                self._grant_cpu(p.cpu, line.addr, list(p.data), exclusive=False)
-            else:
-                line.proc_mask = 0
-                self.stats.counter("prefetch_fills").incr()
-            self.stats.counter("combined_requests").incr(len(p.combined))
-            return
-        if op in (MsgType.READ_EX, MsgType.SPECIAL_READ):
-            if p.data is None:
-                return
-            if cfg.sc_locking and p.inv_follows and not p.inv_arrived:
-                return
-            line.locked = False
-            line.pending = None
-            line.state = LineState.LI
-            line.data = None
-            line.brought_by = p.cpu
-            line.proc_mask = 1 << self._local_index(p.cpu)
-            self._grant_cpu(p.cpu, line.addr, list(p.data), exclusive=True)
-            self.stats.counter("combined_requests").incr(len(p.combined))
-            return
-        if op is MsgType.UPGRADE:
-            if p.data is not None:
-                # home fell back to sending data (stale-sharer path)
-                if cfg.sc_locking and p.inv_follows and not p.inv_arrived:
-                    return
-                line.locked = False
-                line.pending = None
-                line.state = LineState.LI
-                line.data = None
-                line.brought_by = p.cpu
-                line.proc_mask = 1 << self._local_index(p.cpu)
-                self._grant_cpu(p.cpu, line.addr, list(p.data), exclusive=True)
-                self.stats.counter("combined_requests").incr(len(p.combined))
-                return
-            if not p.inv_arrived:
-                return
-            # ack-only grant: do we still hold valid data anywhere? (§4.6)
-            if not p.copy_invalidated and self._cpu_has_copy(p.cpu, line.addr):
-                line.locked = False
-                line.pending = None
-                line.state = LineState.LI
-                line.data = None
-                line.brought_by = p.cpu
-                line.proc_mask = 1 << self._local_index(p.cpu)
-                self._grant_cpu(p.cpu, line.addr, None, exclusive=True)
-                self.stats.counter("combined_requests").incr(len(p.combined))
-                return
-            if not p.copy_invalidated and line.data is not None:
-                data = list(line.data)
-                line.locked = False
-                line.pending = None
-                line.state = LineState.LI
-                line.data = None
-                line.brought_by = p.cpu
-                line.proc_mask = 1 << self._local_index(p.cpu)
-                self._grant_cpu(p.cpu, line.addr, data, exclusive=True)
-                self.stats.counter("combined_requests").incr(len(p.combined))
-                return
-            # ownership granted but no valid data anywhere on the station:
-            # the rare special read request of §4.6
-            self.stats.counter("special_reads").incr()
-            p.op = MsgType.SPECIAL_READ
-            p.inv_arrived = False
-            self._send_home(line.addr, MsgType.SPECIAL_READ, p.cpu,
-                            retry=False, phase=p.phase)
-            return
 
     # ==================================================================
     # bypass mode (NC ablation)

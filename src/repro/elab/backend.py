@@ -211,23 +211,24 @@ def _specialize(machine, mod) -> None:
 
 
 def _revert(machine) -> None:
-    from ..cache.network_cache import NetworkCache
     from ..cpu.processor import Processor
     from ..interconnect.interfaces import (
         InterRingInterface,
         StationRingInterface,
     )
     from ..interconnect.ring import Ring
-    from ..memory.memory_module import MemoryModule
     from ..system.bus import Bus, OrderedPort
     from ..system.station import Station
 
+    # the interpreted classes are the active protocol's engine classes,
+    # not the protocol-agnostic bases
+    proto = machine.protocol
     for st in machine.stations:
         st.__class__ = Station
         st.bus.__class__ = Bus
-        st.memory.__class__ = MemoryModule
+        st.memory.__class__ = proto.memory_class
         st.memory.out_port.__class__ = OrderedPort
-        st.nc.__class__ = NetworkCache
+        st.nc.__class__ = proto.nc_class
         st.nc.out_port.__class__ = OrderedPort
         for cpu in st.cpus:
             cpu.__class__ = Processor

@@ -74,37 +74,11 @@ from .ir import MachineIR
 class ElabUnsupportedError(RuntimeError):
     """This machine shape has no specialized core; run interpreted."""
 
-#: (MsgType name, interp handler name) — the NC's remote-packet transition
-#: table, compiled into a dense tuple.  Must mirror ``NetworkCache._dispatch``
-#: (pinned by tests/test_elab_backend.py::test_dispatch_tables_match_interp).
-NC_TABLE = (
-    ("DATA_RESP", "_on_data"),
-    ("DATA_RESP_EX", "_on_data"),
-    ("NACK", "_on_nack"),
-    ("INVALIDATE", "_on_invalidate"),
-    ("INTERVENTION", "_on_intervention"),
-    ("INTERVENTION_EX", "_on_intervention"),
-    ("MULTICAST_DATA", "_on_multicast_data"),
-    ("KILL", "_on_kill"),
-)
-
-#: same for ``MemoryModule._dispatch`` (default: ``_on_other``)
-MEM_TABLE = (
-    ("READ", "_on_read"),
-    ("READ_EX", "_on_read_ex"),
-    ("UPGRADE", "_on_upgrade"),
-    ("SPECIAL_READ", "_on_special_read"),
-    ("WRITE_BACK", "_on_write_back"),
-    ("DATA_RESP", "_on_data_home"),
-    ("DATA_RESP_EX", "_on_data_home"),
-    ("INVALIDATE", "_on_invalidate_return"),
-    ("PREFETCH", "_on_read"),
-    ("XFER_ACK", "_on_xfer_ack"),
-    ("NACK_INTERVENTION", "_on_nack_intervention"),
-    ("NO_DATA", "_on_no_data"),
-    ("READ_UNCACHED", "_on_read_uncached"),
-    ("WRITE_UNCACHED", "_on_write_uncached"),
-)
+# The coherence transition tables are no longer literal here: they come
+# from the active protocol plug-in's engine classes (``DISPATCH`` class
+# attributes, the same single source of truth the interpreted ``_dispatch``
+# builds its handler dict from — see repro.protocol.base).  The generated
+# module compiles them into dense ``MsgType.value``-indexed tuples.
 
 
 # ----------------------------------------------------------------------
@@ -381,6 +355,14 @@ def generate_source(ir: MachineIR) -> str:
     size0 = sizes[0]
     instr = bool(ir.instrumented)
     fused = bool(ir.fused)
+    # the active coherence plug-in supplies the engine base classes and
+    # their DISPATCH transition tables (repro.protocol); the generated
+    # subclasses extend those, not the protocol-agnostic bases
+    from ..protocol import get_protocol
+
+    proto = get_protocol(ir.protocol)
+    nc_base = proto.nc_class
+    mem_base = proto.memory_class
     L: list[str] = []
     w = L.append
 
@@ -392,11 +374,13 @@ def generate_source(ir: MachineIR) -> str:
     w(f'FINGERPRINT = "{ir.fingerprint}"')
     w(f"INSTRUMENTED = {instr}")
     w(f"FUSED = {fused}")
+    w(f'PROTOCOL = "{proto.name}"')
     w("")
     w("from bisect import insort as _insort")
     w("from heapq import heappush as _heappush")
     w("")
-    w("from repro.cache.network_cache import NetworkCache")
+    w(f"from {nc_base.__module__} import {nc_base.__name__} as _NCBase")
+    w(f"from {mem_base.__module__} import {mem_base.__name__} as _MemBase")
     w("from repro.cpu.processor import Processor")
     w("from repro.core.states import CacheState")
     w("from repro.interconnect.interfaces import (")
@@ -405,7 +389,6 @@ def generate_source(ir: MachineIR) -> str:
     w(")")
     w("from repro.interconnect.packet import MsgType, Packet, next_pid")
     w("from repro.interconnect.ring import Ring")
-    w("from repro.memory.memory_module import MemoryModule")
     w("from repro.sim.engine import SimulationError")
     w("from repro.sim.fifo import FifoFullError")
     w("from repro.softctl import ops as _softops")
@@ -434,12 +417,12 @@ def generate_source(ir: MachineIR) -> str:
     w("    return tuple(table)")
     w("")
     w("_NC_H = _mk_table(_softops.nc_dispatch, (")
-    for mt, fn in NC_TABLE:
-        w(f"    (MsgType.{mt}, NetworkCache.{fn}),")
+    for mt, fn in nc_base.DISPATCH:
+        w(f"    (MsgType.{mt}, _NCBase.{fn}),")
     w("))")
-    w("_MEM_H = _mk_table(MemoryModule._on_other, (")
-    for mt, fn in MEM_TABLE:
-        w(f"    (MsgType.{mt}, MemoryModule.{fn}),")
+    w("_MEM_H = _mk_table(_MemBase._on_other, (")
+    for mt, fn in mem_base.DISPATCH:
+        w(f"    (MsgType.{mt}, _MemBase.{fn}),")
     w("))")
     w("")
     w("")
@@ -1060,8 +1043,8 @@ def generate_source(ir: MachineIR) -> str:
     # network cache + memory module serialization plumbing
     # ------------------------------------------------------------------
     for cname, base, latency, svc in (
-        ("ElabNC", "NetworkCache", "TAG", "nc"),
-        ("ElabMem", "MemoryModule", "LOOKUP", "mem"),
+        ("ElabNC", "_NCBase", "TAG", "nc"),
+        ("ElabMem", "_MemBase", "LOOKUP", "mem"),
     ):
         done_fn = f"_{svc}_service_done"
         w("")
@@ -1166,14 +1149,16 @@ def generate_source(ir: MachineIR) -> str:
                 w(_push_keyed(i2, "engine.now + (extra or 0)", 1,
                               "self._done_key", done_fn, "self").rstrip())
         w("")
-        if svc == "nc":
+        if svc == "nc" and proto.name == "numachine":
             # The local-request NACK storm is the hottest protocol path in
             # contended runs: a locked line bounces every local retry.  It
             # is transcribed here with the tag probe, the nack counter, the
             # cpu lookup and the ordered-port send all inlined; every other
             # local-request outcome falls back to the interpreted method
             # (the probe is pure, so re-running it there is side-effect
-            # free).
+            # free).  Protocol-specific (it mirrors the NUMAchine NC's
+            # locked-line branch), so other plug-ins inherit their own
+            # _on_local_request unmodified.
             w("    def _on_local_request(self, pkt):")
             w("        if self.enabled:")
             w("            addr = pkt.addr")
@@ -1208,7 +1193,7 @@ def generate_source(ir: MachineIR) -> str:
             w(_push_event("                    ", "engine.now", 1,
                           "_port_issue", "(port, CMD, cb)").rstrip())
             w("                return 0")
-            w("        return NetworkCache._on_local_request(self, pkt)")
+            w("        return _NCBase._on_local_request(self, pkt)")
             w("")
 
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ from typing import Dict, List, Tuple
 
 #: bump whenever the generated module's shape or semantics change; stale
 #: on-disk modules are ignored (their fingerprint no longer matches)
-ELAB_SCHEMA = 4
+ELAB_SCHEMA = 5
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,9 @@ class MachineIR:
     #: ``Ring._send`` and the idle-wakeup / service-done elisions are
     #: compiled in — a third fingerprint axis (see repro.interconnect.ring)
     fused: bool = False
+    #: coherence-protocol plug-in whose DISPATCH tables the generated core
+    #: compiles into dense dispatch — a fourth fingerprint axis
+    protocol: str = "numachine"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -183,8 +186,9 @@ class MachineIR:
             )
 
         fused = bool(getattr(machine, "fused", False))
+        protocol = getattr(machine, "protocol_name", "numachine")
         return cls(
-            fingerprint=config_elab_fingerprint(config, instrumented, fused),
+            fingerprint=config_elab_fingerprint(config, instrumented, fused, protocol),
             num_levels=num_levels,
             levels=levels,
             num_stations=config.num_stations,
@@ -194,15 +198,17 @@ class MachineIR:
             iris=iris,
             instrumented=instrumented,
             fused=fused,
+            protocol=protocol,
         )
 
 
 def config_elab_fingerprint(
-    config, instrumented: bool = False, fused: bool = False
+    config, instrumented: bool = False, fused: bool = False,
+    protocol: str = "numachine",
 ) -> str:
     """Digest identifying a generated module: full config, package version,
-    elaborator schema, instrumentation axis, transit-fusion axis.  Any
-    mismatch forces regeneration."""
+    elaborator schema, instrumentation axis, transit-fusion axis, coherence
+    protocol.  Any mismatch forces regeneration."""
     import dataclasses
 
     from repro import __version__
@@ -213,6 +219,7 @@ def config_elab_fingerprint(
             "version": __version__,
             "instrumented": bool(instrumented),
             "fused": bool(fused),
+            "protocol": str(protocol),
             "config": dataclasses.asdict(config),
         },
         sort_keys=True,

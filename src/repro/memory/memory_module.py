@@ -47,7 +47,20 @@ class Pending:
 
 
 class MemoryModule:
-    """Home memory + directory + coherence engine for one station."""
+    """Home memory + directory + serialization plumbing for one station.
+
+    The coherence state machine itself lives in a protocol plug-in
+    (:mod:`repro.protocol`): a subclass supplies the transition handlers
+    and declares them in ``DISPATCH``.  Stations instantiate
+    ``machine.protocol.memory_class``; this base holds everything
+    protocol-independent — FIFOs, the master-controller service loop,
+    uncached accesses, softctl dispatch, NACK/lock bookkeeping and the
+    outbound bus/ring send helpers.
+    """
+
+    #: (MsgType name, handler method name) pairs — the protocol subclass's
+    #: transition table, consumed by ``_dispatch`` and the elaborator
+    DISPATCH: tuple = ()
 
     def __init__(self, engine: Engine, config, station) -> None:
         self.engine = engine
@@ -166,244 +179,16 @@ class MemoryModule:
         local = bool(pkt.meta.get("local"))
         handlers = self._handlers
         if handlers is None:
-            # built lazily once per instance; rebuilding this dict (and
-            # hashing every MsgType) per packet is measurable in profiles
+            # built lazily once per instance from the protocol subclass's
+            # DISPATCH declaration; rebuilding this dict (and hashing every
+            # MsgType) per packet is measurable in profiles
             handlers = self._handlers = {
-                MsgType.READ: self._on_read,
-                MsgType.READ_EX: self._on_read_ex,
-                MsgType.UPGRADE: self._on_upgrade,
-                MsgType.SPECIAL_READ: self._on_special_read,
-                MsgType.WRITE_BACK: self._on_write_back,
-                MsgType.DATA_RESP: self._on_data_home,
-                MsgType.DATA_RESP_EX: self._on_data_home,
-                MsgType.INVALIDATE: self._on_invalidate_return,
-                MsgType.PREFETCH: self._on_read,
-                MsgType.XFER_ACK: self._on_xfer_ack,
-                MsgType.NACK_INTERVENTION: self._on_nack_intervention,
-                MsgType.NO_DATA: self._on_no_data,
-                MsgType.READ_UNCACHED: self._on_read_uncached,
-                MsgType.WRITE_UNCACHED: self._on_write_uncached,
+                MsgType[name]: getattr(self, fn) for name, fn in type(self).DISPATCH
             }
         handler = handlers.get(pkt.mtype)
         if handler is None:
             handler = self._on_other
         return handler(pkt, entry, local)
-
-    # ------------------------------------------------------------------
-    # reads
-    # ------------------------------------------------------------------
-    def _on_read(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        cfg = self.config
-        if entry.locked:
-            return self._nack(pkt, local)
-        st = entry.state
-        if st in (LineState.LV, LineState.GV):
-            data = self.read_line(pkt.addr)
-            dram = self._dram_read_ticks()
-            if local:
-                entry.proc_mask |= 1 << self._local_index(pkt.requester)
-                self._respond_local(pkt, data, exclusive=False, delay=dram)
-            else:
-                entry.state = LineState.GV
-                self.directory.add_station(entry, pkt.src_station)
-                self.directory.add_station(entry, self.station_id)
-                self._send_data(pkt, data, exclusive=False, delay=dram)
-            return dram
-        if st is LineState.LI:
-            # dirty in a local secondary cache: bus intervention
-            self._lock(entry, Pending(
-                kind="fetch",
-                req_type=pkt.mtype,
-                requester=pkt.requester,
-                req_station=pkt.src_station,
-                is_local=local,
-                grant="data",
-            ))
-            self._local_intervention(pkt.addr, entry, exclusive=False)
-            return 0
-        # GI: a remote network cache owns the line
-        owner = self._owner_station(entry)
-        if owner == pkt.src_station and not local:
-            # false remote: requester's own station still owns it (§4.6)
-            self.stats.counter("false_remote_bounces").incr()
-            self._lock(entry, Pending(
-                kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
-                req_station=pkt.src_station, is_local=False, grant="data",
-            ))
-            self._send_intervention(pkt, owner, exclusive=False, false_remote=True)
-            return 0
-        self._lock(entry, Pending(
-            kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
-            req_station=pkt.src_station, is_local=local, grant="data",
-        ))
-        self._send_intervention(pkt, owner, exclusive=False)
-        return 0
-
-    # ------------------------------------------------------------------
-    # writes (read-exclusive)
-    # ------------------------------------------------------------------
-    def _on_read_ex(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        if entry.locked:
-            return self._nack(pkt, local)
-        st = entry.state
-        if st is LineState.LV:
-            return self._grant_exclusive_from_valid(pkt, entry, local, had_remote=False)
-        if st is LineState.GV:
-            return self._grant_exclusive_from_valid(pkt, entry, local, had_remote=True)
-        if st is LineState.LI:
-            self._lock(entry, Pending(
-                kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
-                req_station=pkt.src_station, is_local=local, grant="data",
-            ))
-            self._local_intervention(pkt.addr, entry, exclusive=True)
-            return 0
-        # GI: forward to the owning station
-        owner = self._owner_station(entry)
-        if owner == pkt.src_station and not local:
-            self.stats.counter("false_remote_bounces").incr()
-            self._lock(entry, Pending(
-                kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
-                req_station=pkt.src_station, is_local=False, grant="data",
-            ))
-            self._send_intervention(pkt, owner, exclusive=True, false_remote=True)
-            return 0
-        self._lock(entry, Pending(
-            kind="fetch", req_type=pkt.mtype, requester=pkt.requester,
-            req_station=pkt.src_station, is_local=local, grant="data",
-        ))
-        self._send_intervention(pkt, owner, exclusive=True)
-        return 0
-
-    def _grant_exclusive_from_valid(
-        self, pkt: Packet, entry: DirEntry, local: bool, had_remote: bool
-    ) -> int:
-        """LV/GV -> exclusive grant, invalidating all other copies."""
-        cfg = self.config
-        grant = "ack" if pkt.mtype is MsgType.UPGRADE else "data"
-        remote_mask = self._remote_sharers(entry)
-        if had_remote and remote_mask:
-            # Ordered multicast invalidation; completion at its return (§2.3).
-            if not local and grant == "data":
-                # fig 7: data goes out first, the invalidation follows
-                self._send_data(pkt, self.read_line(pkt.addr), exclusive=True,
-                                inv_follows=True, delay=self._dram_read_ticks())
-            self._lock(entry, Pending(
-                kind="inv", req_type=pkt.mtype, requester=pkt.requester,
-                req_station=pkt.src_station, is_local=local, grant=grant,
-            ))
-            self._send_invalidate(pkt, entry, remote_mask)
-            return self._dram_read_ticks() if grant == "data" else 0
-        # only local copies: invalidate over the bus and answer immediately
-        self._invalidate_local(pkt.addr, entry, keep=pkt.requester if local else None)
-        if local:
-            idx = self._local_index(pkt.requester)
-            entry.state = LineState.LI
-            entry.proc_mask = 1 << idx
-            self.directory.set_station(entry, self.station_id)
-            if grant == "ack" and self._cpu_has_copy(pkt.requester, pkt.addr):
-                self._respond_local(pkt, None, exclusive=True)
-                return 0
-            self._respond_local(
-                pkt, self.read_line(pkt.addr), exclusive=True,
-                delay=self._dram_read_ticks(),
-            )
-            return self._dram_read_ticks()
-        entry.state = LineState.GI
-        entry.proc_mask = 0
-        self.directory.set_station(entry, pkt.src_station)
-        if grant == "ack":
-            # upgrade with no other sharers: a lone invalidate acts as the ack
-            # (no lock is held, so home is excluded from the multicast)
-            self._send_invalidate(pkt, entry, 0, include_home=False)
-            return 0
-        self._send_data(pkt, self.read_line(pkt.addr), exclusive=True,
-                        inv_follows=False, delay=self._dram_read_ticks())
-        return self._dram_read_ticks()
-
-    # ------------------------------------------------------------------
-    # upgrades (write permission without data)
-    # ------------------------------------------------------------------
-    def _on_upgrade(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        if entry.locked:
-            return self._nack(pkt, local)
-        st = entry.state
-        if st in (LineState.LV, LineState.GV):
-            requester_station = self.station_id if local else pkt.src_station
-            may_have = local or self.directory.may_have_copy(entry, requester_station)
-            if self.config.optimistic_upgrade and may_have:
-                return self._grant_exclusive_from_valid(
-                    pkt, entry, local, had_remote=(st is LineState.GV)
-                )
-            # pessimistic (or known-stale): answer with data like a READ_EX
-            self.stats.counter("upgrade_data_sent").incr()
-            data_pkt = Packet(
-                mtype=MsgType.READ_EX, addr=pkt.addr,
-                src_station=pkt.src_station, dest_mask=0,
-                requester=pkt.requester, meta=dict(pkt.meta),
-            )
-            return self._on_read_ex(data_pkt, entry, local)
-        # The requester's copy is long gone (LI/GI): fall back to READ_EX.
-        self.stats.counter("upgrade_fallback").incr()
-        data_pkt = Packet(
-            mtype=MsgType.READ_EX, addr=pkt.addr,
-            src_station=pkt.src_station, dest_mask=0,
-            requester=pkt.requester, meta=dict(pkt.meta),
-        )
-        return self._on_read_ex(data_pkt, entry, local)
-
-    def _on_special_read(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        """§4.6: the requester owns the line but never received data."""
-        if entry.locked:
-            return self._nack(pkt, local)
-        self.stats.counter("special_reads_served").incr()
-        data = self.read_line(pkt.addr)
-        dram = self._dram_read_ticks()
-        if local:
-            self._respond_local(pkt, data, exclusive=True, delay=dram)
-        else:
-            self._send_data(pkt, data, exclusive=True, inv_follows=False, delay=dram)
-        return dram
-
-    # ------------------------------------------------------------------
-    # write-backs and returning data
-    # ------------------------------------------------------------------
-    def _on_write_back(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        self.write_line(pkt.addr, pkt.data)
-        if entry.locked and entry.pending is not None and entry.pending.kind in (
-            "awaiting_wb",
-            "fetch",
-        ):
-            # the write-back crossed our intervention: complete the request
-            pending = entry.pending
-            self._unlock(entry)
-            self._complete_after_wb(pkt, entry, pending)
-            return self._dram_write_ticks()
-        if local:
-            # dirty secondary-cache eviction on the home station
-            entry.state = LineState.LV
-            if pkt.requester is not None:
-                entry.proc_mask &= ~(1 << self._local_index(pkt.requester))
-            self.directory.set_station(entry, self.station_id)
-        else:
-            # a network cache ejected its (exclusively held) copy
-            entry.state = LineState.GV
-            self.directory.add_station(entry, self.station_id)
-        return self._dram_write_ticks()
-
-    def _complete_after_wb(self, pkt: Packet, entry: DirEntry, pending: Pending) -> None:
-        req = Packet(
-            mtype=pending.req_type, addr=pkt.addr,
-            src_station=pending.req_station, dest_mask=0,
-            requester=pending.requester,
-            meta={"local": pending.is_local, "retry": True},
-        )
-        # The line is now plain valid; rerun the request against fresh state.
-        # Keep the old sharer mask (L2s at the ejecting station may retain
-        # shared copies), just fold in the home station.
-        entry.state = LineState.LV if pending.is_local else LineState.GV
-        entry.proc_mask = 0
-        self.directory.add_station(entry, self.station_id)
-        self.handle(req)
 
     def _txn_matches(self, pkt: Packet, entry: DirEntry) -> bool:
         """Does this intervention answer belong to the current lock round?"""
@@ -412,115 +197,6 @@ class MemoryModule:
         expect = entry.pending.extra.get("txn")
         got = pkt.meta.get("txn")
         return got is None or expect is None or got == expect
-
-    def _on_data_home(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        """A copy of the line returning to its home (intervention answers)."""
-        if not self._txn_matches(pkt, entry):
-            # stray copy (e.g. late duplicate); just absorb the data
-            self.stats.counter("stale_answers").incr()
-            self.write_line(pkt.addr, pkt.data)
-            return self._dram_write_ticks()
-        pending = entry.pending
-        self.write_line(pkt.addr, pkt.data)
-        exclusive = pkt.mtype is MsgType.DATA_RESP_EX
-        self._unlock(entry)
-        if exclusive:
-            # ownership moved to the pending requester
-            if pending.is_local:
-                idx = self._local_index(pending.requester)
-                entry.state = LineState.LI
-                entry.proc_mask = 1 << idx
-                self.directory.set_station(entry, self.station_id)
-                self._respond_local_pending(pkt.addr, pending, pkt.data, exclusive=True)
-            else:
-                entry.state = LineState.GI
-                entry.proc_mask = 0
-                self.directory.set_station(entry, pending.req_station)
-        else:
-            entry.state = LineState.GV
-            self.directory.add_station(entry, self.station_id)
-            self.directory.add_station(entry, pending.req_station)
-            if pending.is_local:
-                idx = self._local_index(pending.requester)
-                entry.proc_mask |= 1 << idx
-                self._respond_local_pending(pkt.addr, pending, pkt.data, exclusive=False)
-        return self._dram_write_ticks()
-
-    def _on_xfer_ack(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        """Ownership-transfer notification from the old owner's NC."""
-        if self._txn_matches(pkt, entry):
-            pending = entry.pending
-            self._unlock(entry)
-            entry.state = LineState.GI
-            entry.proc_mask = 0
-            self.directory.set_station(entry, pending.req_station)
-        return 0
-
-    def _on_nack_intervention(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        """The owner's NC could not supply data and no write-back is coming:
-        bounce the original requester so it retries from scratch."""
-        if not self._txn_matches(pkt, entry):
-            self.stats.counter("stale_answers").incr()
-            return 0
-        pending = entry.pending
-        self._unlock(entry)
-        if pending.is_local:
-            cpu = self.station.cpu_by_global(pending.requester)
-            self.out_port.send(
-                0, self._cmd_ticks,
-                lambda start, c=cpu, a=pkt.addr: c.nack_from_module(a),
-            )
-        else:
-            nack = Packet(
-                mtype=MsgType.NACK, addr=pkt.addr,
-                src_station=self.station_id,
-                dest_mask=self.codec.station_mask(pending.req_station),
-                requester=pending.requester,
-            )
-            self._send_packet(nack, has_data=False)
-        return 0
-
-    def _on_no_data(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        """Owner reports a write-back is in flight; wait for it.  (Only the
-        bus-level race inside one station uses this path now; the ring-level
-        protocol answers NACK_INTERVENTION instead.)"""
-        if self._txn_matches(pkt, entry):
-            entry.pending.kind = "awaiting_wb"
-        return 0
-
-    # ------------------------------------------------------------------
-    # invalidation return (the unlock signal, paper fig 7)
-    # ------------------------------------------------------------------
-    def _on_invalidate_return(self, pkt: Packet, entry: DirEntry, local: bool) -> int:
-        if not (entry.locked and entry.pending is not None and entry.pending.kind == "inv"):
-            # an invalidation for a line this memory no longer tracks as
-            # pending: invalidate local copies (inexact-mask delivery)
-            if entry.proc_mask and entry.state in (LineState.LV, LineState.GV):
-                self._invalidate_local(pkt.addr, entry, keep=None)
-                entry.state = LineState.GI
-            self.stats.counter("stray_invalidates").incr()
-            return 0
-        pending = entry.pending
-        self._unlock(entry)
-        keep = pending.requester if pending.is_local else None
-        self._invalidate_local(pkt.addr, entry, keep=keep)
-        if pending.is_local:
-            idx = self._local_index(pending.requester)
-            entry.state = LineState.LI
-            entry.proc_mask = 1 << idx
-            self.directory.set_station(entry, self.station_id)
-            if pending.grant == "ack" and self._cpu_has_copy(pending.requester, pkt.addr):
-                self._respond_local_pending(pkt.addr, pending, None, exclusive=True)
-            else:
-                self._respond_local_pending(
-                    pkt.addr, pending, self.read_line(pkt.addr), exclusive=True,
-                    delay=self._dram_read_ticks(),
-                )
-        else:
-            entry.state = LineState.GI
-            entry.proc_mask = 0
-            self.directory.set_station(entry, pending.req_station)
-        return 0
 
     # ------------------------------------------------------------------
     # uncached word accesses (cacheable=False pages, §3.2)
@@ -794,7 +470,6 @@ class MemoryModule:
                     mtype=MsgType.READ, addr=addr,
                     src_station=pending.req_station, dest_mask=0,
                     requester=pending.requester,
-                    meta={"prefetch": pending.extra.get("prefetch", False)},
                 )
                 self._send_data(fake, list(data), exclusive=False)
         v = self.verifier

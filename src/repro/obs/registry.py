@@ -98,6 +98,7 @@ def snapshot(machine, include_wall: bool = True) -> dict:
         "events_run": engine.events_run,
         "num_stations": machine.config.num_stations,
         "num_cpus": len(machine.cpus),
+        "protocol": getattr(machine, "protocol_name", "numachine"),
     }
     counts = getattr(machine, "event_counts", None)
     if counts is not None:
@@ -175,6 +176,11 @@ def to_prometheus(snap: dict, prefix: str = "numachine") -> str:
            [((), meta.get("time_ns", 0))])
     metric("events_total", "engine events processed", "counter",
            [((), meta.get("events_run", 0))])
+    if "protocol" in meta:
+        # info-style gauge: the coherence protocol rides as a label so
+        # scrapes can group/filter ablation runs without re-keying metrics
+        metric("protocol_info", "coherence protocol plug-in", "gauge",
+               [((("protocol", meta["protocol"]),), 1)])
     if "events_hop_equivalent" in meta:
         metric("events_fused_total", "hop events elided by transit fusion",
                "counter", [((), meta.get("events_fused", 0))])

@@ -84,7 +84,8 @@ def render_text(snap: dict, probe_limit: int = 24) -> str:
     out.append(
         f"run: {meta.get('time_ns', 0):.0f} ns simulated, "
         f"{meta.get('events_run', 0)} events, "
-        f"{meta.get('num_cpus', '?')} cpus / {meta.get('num_stations', '?')} stations"
+        f"{meta.get('num_cpus', '?')} cpus / {meta.get('num_stations', '?')} stations, "
+        f"{meta.get('protocol', 'numachine')} protocol"
     )
     if meta.get("fuse") == "on":
         out.append(

@@ -60,7 +60,8 @@ def render_status(lines: List[dict], width: int = 60) -> str:
     # the drain ETA keeps the macro rate (the queue holds macro events)
     fused = meta.get("fuse") == "on" and "events_hop_equivalent" in meta
     header = (
-        f"{state}: {meta.get('time_ns', 0):,.0f} ns simulated, "
+        f"{state} [{meta.get('protocol', 'numachine')}]: "
+        f"{meta.get('time_ns', 0):,.0f} ns simulated, "
         f"{meta.get('events_run', 0):,} events"
     )
     if fused:

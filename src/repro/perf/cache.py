@@ -6,6 +6,9 @@ JSON files keyed by a digest of exactly those inputs:
 
 * a fingerprint of every :class:`MachineConfig` field (geometry included),
 * the workload name, processor count, cpu placement and variant label,
+* the resolved coherence protocol (``config.protocol`` falling back to
+  ``NUMACHINE_PROTOCOL``) — a semantic axis: different protocols produce
+  different event streams and statistics,
 * the ``NUMACHINE_SCALE`` problem-size multiplier (it changes the workload
   built by :func:`repro.workloads.make` without touching the config),
 * the package version (:data:`repro.__version__`) and a cache schema
@@ -45,10 +48,11 @@ from pathlib import Path
 from typing import Optional
 
 from ..interconnect.ring import fusion_mode
+from ..protocol import resolve_protocol_name
 from .record import RunRecord
 
 #: bump when the RunRecord layout or key derivation changes
-CACHE_SCHEMA = 5
+CACHE_SCHEMA = 6
 
 #: default size cap for the cache directory, in bytes
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -94,6 +98,9 @@ def point_key(
             "cpus": list(cpus),
             "variant": variant,
             "scale": os.environ.get("NUMACHINE_SCALE", "1.0"),
+            # coherence protocol: a *semantic* axis (different event
+            # streams and stats), resolved with the machine's precedence
+            "protocol": resolve_protocol_name(config),
             # execution strategy: bit-identical results, different timings
             "backend": os.environ.get("NUMACHINE_BACKEND", "auto"),
             "sched": os.environ.get("NUMACHINE_SCHED", "auto"),
@@ -254,6 +261,19 @@ def main(argv=None) -> int:
         total = sum(size for _, size, _ in entries)
         print(f"{cache.root}: {len(entries)} entries, {total / 1e6:.2f} MB "
               f"(schema {CACHE_SCHEMA}, cap {cache.max_bytes // (1024 * 1024)} MB)")
+        by_proto: dict = {}
+        for _, _, path in entries:
+            try:
+                with open(path) as fh:
+                    rec = json.load(fh).get("record", {})
+            except (OSError, ValueError):
+                continue
+            name = rec.get("protocol", "?")
+            by_proto[name] = by_proto.get(name, 0) + 1
+        if by_proto:
+            print("  by protocol: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(by_proto.items())
+            ))
         es = elab_store.stats(root)
         print(f"{es['dir']}: {es['modules']} generated modules, "
               f"{es['bytes'] / 1e6:.2f} MB")

@@ -28,9 +28,10 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..interconnect.ring import fusion_mode
+from ..protocol import resolve_protocol_name
 
 #: bump when the per-line layout changes incompatibly
-LEDGER_SCHEMA = 2
+LEDGER_SCHEMA = 3
 
 #: default ledger location: the repository root
 DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_history.jsonl"
@@ -76,6 +77,7 @@ def make_entry(bench: str, result: dict) -> dict:
         "git_sha": git_sha(),
         "host": host_fingerprint(),
         "fuse": fusion_mode(),
+        "protocol": resolve_protocol_name(),
         "result": result,
     }
 

@@ -25,6 +25,8 @@ class RunRecord:
     cpus: Tuple[int, ...] = ()
     #: free-form label distinguishing config variants in the cache key
     variant: str = ""
+    #: coherence-protocol plug-in the machine ran (repro.protocol)
+    protocol: str = "numachine"
 
     # ---- timing -------------------------------------------------------
     parallel_time_ns: float = 0.0
@@ -98,6 +100,7 @@ def collect_record(
         nprocs=nprocs,
         cpus=tuple(cpus) if cpus else (),
         variant=variant,
+        protocol=getattr(machine, "protocol_name", "numachine"),
         parallel_time_ns=parallel_time_ns,
         time_ns=ticks_to_ns(engine.now),
         time_ticks=engine.now,

@@ -60,6 +60,9 @@ class MachineConfig:
     seq_point_ns: float = 450.0       # ordering delay at a sequencing point
 
     # ---- protocol options (ablations) -------------------------------------
+    #: coherence protocol plug-in name ("numachine", "msi"); empty means
+    #: "defer to NUMACHINE_PROTOCOL, default numachine" (repro.protocol)
+    protocol: str = ""
     nc_enabled: bool = True           # network cache present
     sc_locking: bool = True           # hold data until ordered invalidation
     optimistic_upgrade: bool = True   # ack-only upgrade answers (§2.3/§4.6)
@@ -165,6 +168,10 @@ class MachineConfig:
         )
 
     def validate(self) -> None:
+        if self.protocol:
+            from ..protocol import get_protocol
+
+            get_protocol(self.protocol)  # raises ValueError when unknown
         if self.line_bytes % self.word_bytes:
             raise ValueError("line size must be a multiple of the word size")
         if self.l2_size_bytes % self.line_bytes or self.nc_size_bytes % self.line_bytes:

@@ -62,6 +62,12 @@ class Machine:
         # every component and the elaborated core agree for the machine's
         # whole lifetime even if the environment changes later
         self.fused = fusion_enabled()
+        # coherence protocol plug-in (NUMACHINE_PROTOCOL / config.protocol):
+        # resolved once here so every layer agrees for the machine's lifetime
+        from ..protocol import resolve_protocol
+
+        self.protocol = resolve_protocol(self.config)
+        self.protocol_name = self.protocol.name
         self._elab_applied = False
         self._elab_failed = False
         # which elab variant is in place: None | "plain" | "instr"
@@ -70,7 +76,7 @@ class Machine:
         self.net: Interconnect = build_interconnect(self.engine, self.config)
         self.codec = self.net.codec
         self.stations: List[Station] = [
-            Station(self.engine, self.config, self.codec, s)
+            Station(self.engine, self.config, self.codec, s, protocol=self.protocol)
             for s in range(self.config.num_stations)
         ]
         # attach station ring interfaces

@@ -11,21 +11,32 @@ from __future__ import annotations
 
 from typing import List
 
-from ..cache.network_cache import NetworkCache
 from ..cpu.processor import Processor
 from ..interconnect.packet import MsgType, Packet
 from ..interconnect.routing import RoutingMaskCodec
-from ..memory.memory_module import MemoryModule
 from ..sim.engine import Engine, SimulationError, ns_to_ticks
 from .bus import Bus
 
 
 class Station:
-    def __init__(self, engine: Engine, config, codec: RoutingMaskCodec, station_id: int) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config,
+        codec: RoutingMaskCodec,
+        station_id: int,
+        protocol=None,
+    ) -> None:
+        if protocol is None:
+            # direct constructions (unit tests) resolve the plug-in themselves
+            from ..protocol import resolve_protocol
+
+            protocol = resolve_protocol(config)
         self.engine = engine
         self.config = config
         self.codec = codec
         self.station_id = station_id
+        self.protocol = protocol
         self.bus = Bus(
             engine, f"S{station_id}.bus", arb_ticks=ns_to_ticks(config.bus_arb_ns)
         )
@@ -33,8 +44,8 @@ class Station:
             Processor(engine, config, station_id * config.cpus_per_station + i, self)
             for i in range(config.cpus_per_station)
         ]
-        self.memory = MemoryModule(engine, config, self)
-        self.nc = NetworkCache(engine, config, self)
+        self.memory = protocol.memory_class(engine, config, self)
+        self.nc = protocol.nc_class(engine, config, self)
         from .io import IOModule
 
         self.io = IOModule(engine, config, self)

@@ -64,17 +64,12 @@ class InvariantViolation(SimulationError):
         )
 
 
-#: (pre, post) pairs that are illegal between two *unlocked* observations
-#: of the same line.  Transitions through a locked round are judged by the
-#: "state frozen while locked" rule instead.
-_ILLEGAL_MEM = frozenset(
-    {(LineState.GV, LineState.LV), (LineState.GI, LineState.LV)}
-)
-_ILLEGAL_NC = frozenset(
-    {(LineState.GV, LineState.LV), (LineState.GI, LineState.LV)}
-)
+def _default_policy():
+    """Fallback mask/transition policy for checkers attached before a
+    machine resolved its protocol (direct unit-test construction)."""
+    from ..protocol import get_protocol
 
-_VALID_NC = (LineState.LV, LineState.GV)
+    return get_protocol("numachine")
 
 
 class CoherenceChecker:
@@ -90,6 +85,9 @@ class CoherenceChecker:
         self.max_locked_ticks = max_locked_ticks
         self.seed = seed
         self.machine = None
+        #: mask/transition policy: the machine's coherence-protocol plug-in
+        #: (set at attach; per-protocol invariants live on the plug-in)
+        self._policy = None
         #: per-invariant count of checks performed (not violations)
         self.checks: Dict[str, int] = {}
         # last observed (state, locked) per (kind, station, line)
@@ -110,6 +108,7 @@ class CoherenceChecker:
     def attach(self, machine) -> "CoherenceChecker":
         """Install the checker on every hook point of ``machine``."""
         self.machine = machine
+        self._policy = getattr(machine, "protocol", None) or _default_policy()
         machine.verifier = self
         for cpu in machine.cpus:
             cpu.verifier = self
@@ -192,7 +191,8 @@ class CoherenceChecker:
                     f"locked line changed state {pstate.value}->{state.value}",
                     la=la, where=where, pkt=pkt,
                 )
-            illegal = _ILLEGAL_MEM if kind == "mem" else _ILLEGAL_NC
+            policy = self._policy
+            illegal = policy.illegal_mem if kind == "mem" else policy.illegal_nc
             if not plocked and (pstate, state) in illegal:
                 self._violate(
                     "legal-transition",
@@ -241,54 +241,9 @@ class CoherenceChecker:
             self._check_mem_masks(mem, la, entry, None)
 
     def _check_mem_masks(self, mem, la: int, entry, pkt: Optional[Packet]) -> None:
-        state = entry.state
-        where = f"mem@S{mem.station_id}"
-        if state in _VALID_NC:  # LV or GV: memory's copy is valid
-            self._count("proc-mask-coverage")
-            pend = self._pending_inval.get((mem.station_id, la))
-            mask = entry.proc_mask
-            for i, cpu in enumerate(mem.station.cpus):
-                line = cpu.l2.lookup(la, touch=False)
-                if line is None or not line.state.readable:
-                    continue
-                if (mask >> i) & 1:
-                    continue
-                if pend is not None and cpu.cpu_id in pend:
-                    continue
-                self._violate(
-                    "proc-mask-coverage",
-                    f"P{cpu.cpu_id} holds {line.state.value} but proc_mask "
-                    f"{mask:#b} does not cover it",
-                    la=la, where=where, pkt=pkt,
-                )
-        if state is LineState.GV:
-            self._count("routing-mask-coverage")
-            for st in self.machine.stations:
-                if st.station_id == mem.station_id or not st.nc.enabled:
-                    continue
-                nline = st.nc.array.probe(la)
-                if nline is None or nline.locked or nline.state not in _VALID_NC:
-                    # a locked NC line is mid-transaction: its recorded state
-                    # is not yet a stable claim the home mask must cover
-                    continue
-                if mem.directory.may_have_copy(entry, st.station_id):
-                    continue
-                if self._inval_inflight.get((st.station_id, la)):
-                    continue  # stale copy with its invalidation in flight
-                self._violate(
-                    "routing-mask-coverage",
-                    f"S{st.station_id} NC holds {nline.state.value} but the "
-                    f"routing mask would not deliver an invalidation there",
-                    la=la, where=where, pkt=pkt,
-                )
-        elif state is LineState.GI:
-            self._count("routing-mask-coverage")
-            if mem.directory.sharer_mask(entry) == 0:
-                self._violate(
-                    "routing-mask-coverage",
-                    "GI line with an empty owner mask",
-                    la=la, where=where, pkt=pkt,
-                )
+        # what a valid mask *is* depends on the protocol (hierarchical
+        # routing masks vs a flat full map): the plug-in owns the rule
+        self._policy.check_mem_masks(self, mem, la, entry, pkt)
 
     def note_invalidate_sent(self, mem, inv: Packet) -> None:
         """Home memory launched an ordered-multicast invalidation."""
@@ -335,25 +290,7 @@ class CoherenceChecker:
             self._check_nc_masks(nc, la, line, None)
 
     def _check_nc_masks(self, nc, la: int, line, pkt: Optional[Packet]) -> None:
-        if line.state not in _VALID_NC:
-            return
-        self._count("proc-mask-coverage")
-        pend = self._pending_inval.get((nc.station_id, la))
-        mask = line.proc_mask
-        for i, cpu in enumerate(nc.station.cpus):
-            l2 = cpu.l2.lookup(la, touch=False)
-            if l2 is None or not l2.state.readable:
-                continue
-            if (mask >> i) & 1:
-                continue
-            if pend is not None and cpu.cpu_id in pend:
-                continue
-            self._violate(
-                "proc-mask-coverage",
-                f"P{cpu.cpu_id} holds {l2.state.value} but NC proc_mask "
-                f"{mask:#b} does not cover it",
-                la=la, where=f"nc@S{nc.station_id}", pkt=pkt,
-            )
+        self._policy.check_nc_masks(self, nc, la, line, pkt)
 
     # ------------------------------------------------------------------
     # local bus invalidation shadow
@@ -437,7 +374,7 @@ class CoherenceChecker:
             if station.nc.enabled:
                 nline = station.nc.array.probe(la)
                 if nline is not None and not nline.locked \
-                        and nline.state in _VALID_NC:
+                        and nline.state in self._policy.valid_nc_states:
                     self._violate(
                         "single-writer",
                         f"P{cpu.cpu_id} installed DIRTY while its NC still "

@@ -183,11 +183,11 @@ def test_cache_prune_cli(tmp_path):
 def test_cache_schema_is_current():
     from repro.perf.cache import CACHE_SCHEMA
 
-    # schema 5: transit fusion (NUMACHINE_FUSE) joined the strategy knobs
-    # (backend / scheduler / pool) in the point key — entries keyed without
-    # it must not be replayed, since events_run and throughput differ
-    # between fusion modes
-    assert CACHE_SCHEMA == 5
+    # schema 6: the coherence protocol (NUMACHINE_PROTOCOL / config field)
+    # joined the strategy knobs (backend / scheduler / pool / fusion) in
+    # the point key — entries keyed without it must not be replayed, since
+    # every simulated metric differs between protocols
+    assert CACHE_SCHEMA == 6
 
 
 def test_point_key_separates_execution_strategies(monkeypatch):
