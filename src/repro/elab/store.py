@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import sys
+import tempfile
 import types
 from pathlib import Path
 from typing import Dict, Optional
@@ -84,9 +85,24 @@ def load_module(ir: MachineIR) -> types.ModuleType:
         if _disk_enabled():
             try:
                 path.parent.mkdir(parents=True, exist_ok=True)
-                tmp = path.with_suffix(".tmp")
-                tmp.write_text(source)
-                os.replace(tmp, path)  # atomic vs concurrent workers
+                # per-writer-unique temp name + atomic rename: concurrent
+                # workers generating the same fingerprint must never
+                # interleave writes into one shared temp file (a torn
+                # module would fail its FINGERPRINT check at best)
+                fd, tmp = tempfile.mkstemp(
+                    prefix=f".{ir.fingerprint[:16]}.", suffix=".tmp",
+                    dir=path.parent,
+                )
+                try:
+                    with os.fdopen(fd, "w") as fh:
+                        fh.write(source)
+                    os.replace(tmp, path)
+                except OSError:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
                 prune()
             except OSError:
                 pass  # a read-only cache dir must never break a run

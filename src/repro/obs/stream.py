@@ -51,6 +51,13 @@ class TelemetryStream:
         self._armed = False
         self.seq = 0
         self.lines_written = 0
+        #: sampler events this stream itself ran on the engine.  The
+        #: stream never delays or reorders the machine's own events, but
+        #: its ticks do count in ``engine.events_run`` and the final tick
+        #: can extend quiescence time by up to one period — consumers
+        #: comparing an observed run to an unobserved one (e.g. the job
+        #: server's tests) reconcile event counts with this.
+        self.ticks = 0
         #: other periodic samplers on the same engine (the probe set);
         #: their armed in-flight events do not count as pending work
         self.peers: tuple = ()
@@ -68,6 +75,7 @@ class TelemetryStream:
         machine.engine.schedule(self.period_ticks, self._tick)
 
     def _tick(self) -> None:
+        self.ticks += 1
         self.emit(final=False)
         engine = self._machine.engine
         # re-arm only while the machine still has work: the emitter must

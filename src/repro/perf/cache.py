@@ -44,6 +44,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -158,11 +160,26 @@ class RunCache:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
         payload = {"schema": CACHE_SCHEMA, "record": record.to_json()}
-        with open(tmp, "w") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, path)  # atomic vs concurrent workers
+        # write-to-temp + atomic rename, with a *per-writer-unique* temp
+        # name: a shared `<key>.tmp` lets two concurrent writers of the
+        # same key interleave writes and publish a torn entry — with many
+        # server workers and sweep processes sharing one cache directory
+        # that race is routine, not exotic.  Readers racing LRU eviction
+        # simply see ENOENT, which `get` already treats as a miss.
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:16]}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)  # atomic: readers see old, new, or ENOENT
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self.prune()
 
     # ------------------------------------------------------------------
@@ -184,8 +201,18 @@ class RunCache:
 
     def prune(self, max_bytes: Optional[int] = None) -> int:
         """Evict least-recently-used entries until the directory fits the
-        cap; returns the number of entries removed."""
+        cap; returns the number of entries removed.  Also sweeps temp
+        files abandoned by crashed writers (older than a minute — live
+        writers rename theirs away within milliseconds)."""
         cap = self.max_bytes if max_bytes is None else max_bytes
+        if self.root.is_dir():
+            horizon = time.time() - 60.0
+            for tmp in self.root.glob(".*.tmp"):
+                try:
+                    if tmp.stat().st_mtime < horizon:
+                        tmp.unlink()
+                except OSError:
+                    continue
         entries = self._entries()
         total = sum(size for _, size, _ in entries)
         removed = 0

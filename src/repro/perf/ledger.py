@@ -15,6 +15,12 @@ Each entry also stamps the ambient transit-fusion mode (``NUMACHINE_FUSE``
 at append time); a bench that sweeps both modes in one process carries the
 per-point mode inside its ``result`` payload as well, since event counts
 and wall rates are not comparable across fusion modes.
+
+Schema 4 adds ``kind``: ``"simulation"`` for the engine/scale/figure
+benches, ``"serving"`` for the job-server soak (``bench_serve.py`` —
+rps, hit ratio, p99), so the longitudinal trajectory covers serving as
+well as simulation and consumers can split the two without guessing
+from bench names.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from ..interconnect.ring import fusion_mode
 from ..protocol import resolve_protocol_name
 
 #: bump when the per-line layout changes incompatibly
-LEDGER_SCHEMA = 3
+LEDGER_SCHEMA = 4
 
 #: default ledger location: the repository root
 DEFAULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_history.jsonl"
@@ -67,13 +73,16 @@ def git_sha(cwd: Optional[Path] = None) -> Optional[str]:
     return sha if proc.returncode == 0 and sha else None
 
 
-def make_entry(bench: str, result: dict) -> dict:
+def make_entry(bench: str, result: dict, kind: str = "simulation") -> dict:
     """One ledger line: provenance envelope around a bench's summary."""
+    if kind not in ("simulation", "serving"):
+        raise ValueError(f"unknown ledger entry kind {kind!r}")
     return {
         "schema": LEDGER_SCHEMA,
         "ts": time.time(),
         "date": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "bench": bench,
+        "kind": kind,
         "git_sha": git_sha(),
         "host": host_fingerprint(),
         "fuse": fusion_mode(),
@@ -82,13 +91,18 @@ def make_entry(bench: str, result: dict) -> dict:
     }
 
 
-def append_entry(bench: str, result: dict, path: Optional[Path] = None) -> dict:
+def append_entry(
+    bench: str,
+    result: dict,
+    path: Optional[Path] = None,
+    kind: str = "simulation",
+) -> dict:
     """Append one entry for ``bench`` to the ledger; returns the entry.
 
     Never raises on I/O problems (a read-only checkout must not break a
     benchmark run); the entry is still returned for inspection.
     """
-    entry = make_entry(bench, result)
+    entry = make_entry(bench, result, kind=kind)
     target = Path(path) if path is not None else DEFAULT_PATH
     try:
         with open(target, "a") as fh:

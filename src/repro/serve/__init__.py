@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: an asyncio job server over the perf cache.
+
+The paper's NUMAchine simulator was shared infrastructure for a research
+group; this package is that idea at modern scale.  A stdlib-only
+HTTP/1.1 server (raw ``asyncio.start_server``, no threads, no
+dependencies) accepts simulation and sweep requests as JSON,
+canonicalizes them onto the existing content-addressed result cache
+(:mod:`repro.perf.cache`), serves hits directly, and pushes cold points
+through an admission queue into a process pool with request coalescing,
+compatible-point batching, bounded-queue backpressure (429 +
+``Retry-After``), per-job TTLs, JSONL progress streaming and a graceful
+SIGTERM drain.  ``python -m repro.serve`` starts it; see the README's
+"Serving" section for the request schema and
+``benchmarks/bench_serve.py`` for the load generator / soak gate.
+"""
+
+from .app import SERVE_SCHEMA, ServeApp, Server
+from .canon import BadRequest, CanonPoint, canonical_point
+from .jobs import (
+    Backpressure,
+    Draining,
+    JobExpired,
+    JobFailed,
+    JobManager,
+    default_workers,
+)
+from .metrics import LatencyReservoir, ServeMetrics
+
+__all__ = [
+    "BadRequest",
+    "Backpressure",
+    "CanonPoint",
+    "Draining",
+    "JobExpired",
+    "JobFailed",
+    "JobManager",
+    "LatencyReservoir",
+    "SERVE_SCHEMA",
+    "ServeApp",
+    "ServeMetrics",
+    "Server",
+    "canonical_point",
+    "default_workers",
+]

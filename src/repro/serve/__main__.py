@@ -1,0 +1,82 @@
+"""``python -m repro.serve`` — run the simulation job server.
+
+Prints one ``serving on http://host:port`` line to stdout once bound
+(machine-readable: the load generator and CI parse it), logs to stderr,
+and drains gracefully on SIGTERM/SIGINT: the listener closes first, new
+jobs get 503, in-flight simulations finish (bounded by
+``--drain-timeout``), then the pool shuts down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from ..perf.cache import RunCache
+from .app import Server
+from .jobs import JobManager, default_workers
+
+
+def _log(msg: str) -> None:
+    print(f"[serve] {msg}", file=sys.stderr, flush=True)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve simulation/sweep requests over the perf cache.",
+    )
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8787,
+                    help="listen port (0 picks a free one; default 8787)")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="pool processes (default: NUMACHINE_JOBS or all cores)")
+    ap.add_argument("--queue-depth", type=int, default=64,
+                    help="admission-queue bound; beyond it requests get 429")
+    ap.add_argument("--batch-max", type=int, default=8,
+                    help="max points batched into one pool submission")
+    ap.add_argument("--ttl", type=float, default=600.0,
+                    help="default seconds a job may wait in queue before 504")
+    ap.add_argument("--drain-timeout", type=float, default=60.0,
+                    help="seconds to wait for in-flight jobs on shutdown")
+    return ap
+
+
+async def _amain(args) -> int:
+    manager = JobManager(
+        workers=args.workers if args.workers else default_workers(),
+        queue_depth=args.queue_depth,
+        batch_max=args.batch_max,
+        default_ttl_s=args.ttl,
+        cache=RunCache(),
+    )
+    server = Server(host=args.host, port=args.port, manager=manager, log=_log)
+    host, port = await server.start()
+    # the one stdout line: parseable by bench_serve --spawn and CI scripts
+    print(f"serving on http://{host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    await stop.wait()
+    _log("signal received; draining")
+    serve_task.cancel()
+    clean = await server.drain_and_stop(args.drain_timeout)
+    return 0 if clean else 1
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

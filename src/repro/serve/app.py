@@ -1,0 +1,544 @@
+"""HTTP routes and the server object: simulation-as-a-service.
+
+Endpoints
+---------
+``POST /run``
+    Body: one point spec (see :mod:`repro.serve.canon`) plus the
+    transport options ``stream`` (bool) and ``ttl_s`` (float).  Answers
+    ``{"key", "source", "record"}`` where ``source`` is ``hit`` /
+    ``coalesced`` / ``run``; the ``X-Cache`` response header carries the
+    same value.  With ``"stream": true`` the response is chunked
+    ``application/x-ndjson``: a ``queued`` line, ``telemetry`` lines
+    bridged live from the worker's :class:`~repro.obs.stream.TelemetryStream`,
+    then one final ``result`` (or ``error``) line.  A streamed result is
+    an *observed* run (the sampler adds events and can extend quiescence
+    time by one period) and is deliberately not written to the shared
+    cache — see :mod:`repro.serve.jobs`.
+
+``POST /sweep``
+    Body: ``{"points": [spec, ...], "ttl_s": ...}``.  Admission is
+    all-or-nothing over the cold subset (a partially admitted sweep would
+    strand its client); the answer lists per-point sources and records in
+    request order.
+
+``GET /metrics``
+    Server-side series in Prometheus text exposition format (rendered by
+    :func:`repro.obs.registry.serve_to_prometheus`).
+
+``GET /stats`` / ``GET /healthz``
+    The JSON metrics snapshot / a tiny liveness document.
+
+Failure semantics: malformed bodies are 400 with a message; a full
+admission queue is 429 with ``Retry-After``; a draining server answers
+503 for new work; a queued job that outlives its TTL is 504; a
+simulation error is 500 with the worker's exception string.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import tempfile
+import time
+from typing import Optional, Tuple
+
+from ..obs.registry import serve_to_prometheus
+from .canon import BadRequest, CanonPoint, canonical_point
+from .http11 import (
+    ChunkedResponse,
+    ProtocolError,
+    Request,
+    read_request,
+    send_response,
+)
+from .jobs import Backpressure, Draining, Job, JobExpired, JobFailed, JobManager
+from .metrics import ServeMetrics
+
+#: bump when the response layout changes incompatibly
+SERVE_SCHEMA = 1
+
+
+def _json_bytes(payload) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode()
+
+
+def _error_body(status: int, message: str, **extra) -> bytes:
+    return _json_bytes({"error": message, "status": status, **extra})
+
+
+class ServeApp:
+    """Route dispatch over one :class:`JobManager`."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        metrics: Optional[ServeMetrics] = None,
+        log=None,
+    ) -> None:
+        self.manager = manager
+        self.metrics = metrics if metrics is not None else manager.metrics
+        self.log = log or (lambda msg: None)
+        self._stream_dir: Optional[str] = None
+        self._stream_seq = 0
+
+    # ------------------------------------------------------------------
+    def _stream_path(self) -> str:
+        if self._stream_dir is None:
+            self._stream_dir = tempfile.mkdtemp(prefix="numachine_serve_")
+        self._stream_seq += 1
+        return os.path.join(self._stream_dir, f"job{self._stream_seq}.jsonl")
+
+    def cleanup(self) -> None:
+        if self._stream_dir is not None:
+            shutil.rmtree(self._stream_dir, ignore_errors=True)
+            self._stream_dir = None
+
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: serve requests until close/EOF."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    self.metrics.record_request("(malformed)", exc.status)
+                    await send_response(
+                        writer, exc.status,
+                        _error_body(exc.status, exc.message),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive
+                await self.handle_request(request, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            # swallow cancellation here too: at loop shutdown the runner
+            # cancels connection tasks, and on 3.11 a task that ends
+            # cancelled makes the streams connection callback log noise —
+            # completing normally after closing the transport is the
+            # clean exit for a connection handler
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    async def handle_request(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        route = f"{request.method} {request.path}"
+        started = time.monotonic()
+        try:
+            status = await self._dispatch(request, writer, started)
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            status = 500
+            self.log(f"500 on {route}: {type(exc).__name__}: {exc}")
+            try:
+                await send_response(
+                    writer, 500,
+                    _error_body(500, f"{type(exc).__name__}: {exc}"),
+                    keep_alive=request.keep_alive,
+                )
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        self.metrics.record_request(route, status)
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, started: float
+    ) -> int:
+        method, path = request.method, request.path
+        if path == "/healthz" and method == "GET":
+            return await self._healthz(request, writer)
+        if path == "/metrics" and method == "GET":
+            body = serve_to_prometheus(self.metrics.snapshot()).encode()
+            await send_response(
+                writer, 200, body,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+                keep_alive=request.keep_alive,
+            )
+            return 200
+        if path == "/stats" and method == "GET":
+            await send_response(
+                writer, 200, _json_bytes(self.metrics.snapshot()),
+                keep_alive=request.keep_alive,
+            )
+            return 200
+        if path == "/run" and method == "POST":
+            return await self._run(request, writer, started)
+        if path == "/sweep" and method == "POST":
+            return await self._sweep(request, writer, started)
+        if path in ("/run", "/sweep", "/healthz", "/metrics", "/stats"):
+            await send_response(
+                writer, 405, _error_body(405, f"{method} not allowed on {path}"),
+                keep_alive=request.keep_alive,
+            )
+            return 405
+        await send_response(
+            writer, 404, _error_body(404, f"no route {path}"),
+            keep_alive=request.keep_alive,
+        )
+        return 404
+
+    async def _healthz(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> int:
+        body = _json_bytes({
+            "status": "draining" if self.manager.draining else "ok",
+            "schema": SERVE_SCHEMA,
+            "workers": self.manager.workers,
+            "queue_depth": self.manager.queue_depth,
+        })
+        await send_response(writer, 200, body, keep_alive=request.keep_alive)
+        return 200
+
+    # ------------------------------------------------------------------
+    def _parse_json(self, request: Request) -> dict:
+        try:
+            body = json.loads(request.body.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise BadRequest("body must be a JSON object")
+        return body
+
+    @staticmethod
+    def _ttl(body: dict) -> Optional[float]:
+        ttl = body.get("ttl_s")
+        if ttl is None:
+            return None
+        if isinstance(ttl, bool) or not isinstance(ttl, (int, float)) or ttl <= 0:
+            raise BadRequest(f"ttl_s must be a positive number, got {ttl!r}")
+        return float(ttl)
+
+    async def _answer_4xx(
+        self, request, writer, status: int, message: str, **extra
+    ) -> int:
+        headers: Tuple[Tuple[str, str], ...] = ()
+        if "retry_after" in extra:
+            headers = (("Retry-After", str(int(extra["retry_after"]))),)
+            extra["retry_after"] = int(extra["retry_after"])
+        await send_response(
+            writer, status, _error_body(status, message, **extra),
+            extra_headers=headers, keep_alive=request.keep_alive,
+        )
+        return status
+
+    # ------------------------------------------------------------------
+    async def _run(
+        self, request: Request, writer: asyncio.StreamWriter, started: float
+    ) -> int:
+        try:
+            body = self._parse_json(request)
+            ttl = self._ttl(body)
+            stream = bool(body.get("stream", False))
+            cp = canonical_point(body)
+        except BadRequest as exc:
+            return await self._answer_4xx(request, writer, 400, str(exc))
+
+        stream_path = self._stream_path() if stream else None
+        try:
+            source, item = self.manager.submit(cp, stream_path, ttl)
+        except Backpressure as exc:
+            return await self._answer_4xx(
+                request, writer, 429, str(exc), retry_after=exc.retry_after
+            )
+        except Draining:
+            return await self._answer_4xx(
+                request, writer, 503, "server is draining"
+            )
+
+        if source == "hit":
+            record = item
+            self.metrics.record_latency("hit", time.monotonic() - started)
+            payload = {
+                "schema": SERVE_SCHEMA, "key": cp.key, "source": "hit",
+                "point": cp.spec, "record": record.to_json(),
+            }
+            if stream:
+                return await self._stream_immediate(writer, payload)
+            await send_response(
+                writer, 200, _json_bytes(payload),
+                extra_headers=(("X-Cache", "hit"),),
+                keep_alive=request.keep_alive,
+            )
+            return 200
+
+        job: Job = item
+        try:
+            if stream:
+                return await self._stream_job(writer, cp, job, source)
+            return await self._await_job(
+                request, writer, cp, job, source, started
+            )
+        finally:
+            self.manager.release_waiter(job)
+
+    async def _await_job(
+        self, request, writer, cp: CanonPoint, job: Job, source: str,
+        started: float,
+    ) -> int:
+        try:
+            record = await asyncio.shield(job.future)
+        except JobExpired as exc:
+            return await self._answer_4xx(request, writer, 504, str(exc))
+        except JobFailed as exc:
+            await send_response(
+                writer, 500, _error_body(500, str(exc), key=cp.key),
+                keep_alive=request.keep_alive,
+            )
+            return 500
+        except asyncio.CancelledError:
+            raise
+        self.metrics.record_latency(
+            "coalesced" if source == "coalesced" else "run",
+            time.monotonic() - started,
+        )
+        payload = {
+            "schema": SERVE_SCHEMA, "key": cp.key, "source": source,
+            "point": cp.spec, "record": record.to_json(),
+        }
+        await send_response(
+            writer, 200, _json_bytes(payload),
+            extra_headers=(("X-Cache", source),),
+            keep_alive=request.keep_alive,
+        )
+        return 200
+
+    # ------------------------------------------------------------------
+    # JSONL progress streaming
+    # ------------------------------------------------------------------
+    async def _stream_immediate(self, writer, payload) -> int:
+        chunked = ChunkedResponse(writer, extra_headers=(("X-Cache", "hit"),))
+        await chunked.send(_json_bytes({"event": "result", **payload}))
+        await chunked.close()
+        return 200
+
+    async def _stream_job(
+        self, writer, cp: CanonPoint, job: Job, source: str
+    ) -> int:
+        chunked = ChunkedResponse(
+            writer, extra_headers=(("X-Cache", source),)
+        )
+        await chunked.send(_json_bytes({
+            "event": "queued", "key": cp.key, "source": source,
+            "point": cp.spec,
+        }))
+        offset, tail = 0, b""
+        path = job.stream_path
+        try:
+            while not job.future.done():
+                await asyncio.wait({job.future}, timeout=0.15)
+                offset, tail = await self._forward_telemetry(
+                    chunked, path, offset, tail
+                )
+            offset, tail = await self._forward_telemetry(
+                chunked, path, offset, tail
+            )
+            try:
+                record = job.future.result()
+            except JobExpired as exc:
+                await chunked.send(_json_bytes(
+                    {"event": "error", "status": 504, "error": str(exc)}
+                ))
+                await chunked.close()
+                return 504
+            except JobFailed as exc:
+                await chunked.send(_json_bytes(
+                    {"event": "error", "status": 500, "error": str(exc)}
+                ))
+                await chunked.close()
+                return 500
+            await chunked.send(_json_bytes({
+                "event": "result", "schema": SERVE_SCHEMA, "key": cp.key,
+                "source": source, "point": cp.spec,
+                "record": record.to_json(),
+                # an observed run, not the canonical record for this key:
+                # the sampler's own events are counted here so the client
+                # can reconcile against an unobserved run
+                "sampler_ticks": job.sampler_ticks,
+            }))
+            await chunked.close()
+            return 200
+        finally:
+            if path is not None:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    async def _forward_telemetry(
+        self, chunked: ChunkedResponse, path: Optional[str],
+        offset: int, tail: bytes,
+    ):
+        """Tail the worker's telemetry JSONL file and forward every
+        complete line; a torn tail is carried to the next poll."""
+        if path is None:
+            return offset, tail
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+        except OSError:
+            return offset, tail
+        if not data:
+            return offset, tail
+        offset += len(data)
+        buf = tail + data
+        lines = buf.split(b"\n")
+        tail = lines.pop()  # b"" when buf ended on a newline
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                snap = json.loads(line)
+            except ValueError:
+                continue
+            await chunked.send(
+                _json_bytes({"event": "telemetry", "data": snap})
+            )
+            self.metrics.stream_lines_forwarded += 1
+        return offset, tail
+
+    # ------------------------------------------------------------------
+    async def _sweep(
+        self, request: Request, writer: asyncio.StreamWriter, started: float
+    ) -> int:
+        try:
+            body = self._parse_json(request)
+            specs = body.get("points")
+            if not isinstance(specs, list) or not specs:
+                raise BadRequest("body must carry a non-empty 'points' list")
+            extra = set(body) - {"points", "ttl_s"}
+            if extra:
+                raise BadRequest(f"unknown fields {sorted(extra)}")
+            self._ttl(body)  # validated; sweeps use the server default TTL
+            points = [canonical_point(s) for s in specs]
+        except BadRequest as exc:
+            return await self._answer_4xx(request, writer, 400, str(exc))
+
+        try:
+            admitted = self.manager.submit_many(points)
+        except Backpressure as exc:
+            return await self._answer_4xx(
+                request, writer, 429, str(exc), retry_after=exc.retry_after
+            )
+        except Draining:
+            return await self._answer_4xx(
+                request, writer, 503, "server is draining"
+            )
+
+        jobs = [item for _s, item in admitted if isinstance(item, Job)]
+        try:
+            results, status = [], 200
+            for cp, (source, item) in zip(points, admitted):
+                if source == "hit":
+                    self.metrics.record_latency(
+                        "hit", time.monotonic() - started
+                    )
+                    results.append({
+                        "key": cp.key, "source": source,
+                        "record": item.to_json(),
+                    })
+                    continue
+                try:
+                    record = await asyncio.shield(item.future)
+                except JobExpired as exc:
+                    status = 504
+                    results.append({
+                        "key": cp.key, "source": source, "error": str(exc),
+                    })
+                except JobFailed as exc:
+                    status = 500
+                    results.append({
+                        "key": cp.key, "source": source, "error": str(exc),
+                    })
+                else:
+                    self.metrics.record_latency(
+                        "coalesced" if source == "coalesced" else "run",
+                        time.monotonic() - started,
+                    )
+                    results.append({
+                        "key": cp.key, "source": source,
+                        "record": record.to_json(),
+                    })
+        finally:
+            for job in jobs:
+                self.manager.release_waiter(job)
+
+        payload = {
+            "schema": SERVE_SCHEMA,
+            "points": len(results),
+            "results": results,
+        }
+        if status != 200:
+            payload["error"] = "one or more points failed; see results"
+        await send_response(
+            writer, status, _json_bytes(payload),
+            keep_alive=request.keep_alive,
+        )
+        return status
+
+
+# ----------------------------------------------------------------------
+# server lifecycle
+# ----------------------------------------------------------------------
+class Server:
+    """The asyncio TCP server wrapping a :class:`ServeApp`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        manager: Optional[JobManager] = None,
+        log=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.manager = manager if manager is not None else JobManager()
+        self.app = ServeApp(self.manager, log=log)
+        self.log = log or (lambda msg: None)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start the manager, return the (host, port) actually bound
+        (``port=0`` picks a free one — tests and CI rely on that)."""
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self.app.handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self.log(f"serving on http://{self.host}:{self.port}")
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def drain_and_stop(self, timeout: Optional[float] = 30.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight jobs
+        (bounded by ``timeout``), release the pool.  New jobs admitted
+        while draining answer 503."""
+        self.log("drain: closing listener, finishing in-flight jobs")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        clean = await self.manager.drain(timeout)
+        self.app.cleanup()
+        self.log(f"drain: {'clean' if clean else 'timed out'}")
+        return clean
+
+
+__all__ = ["SERVE_SCHEMA", "ServeApp", "Server"]

@@ -1,0 +1,223 @@
+"""Request canonicalization: JSON bodies → sweep points → cache keys.
+
+The server is a CDN for experiments, so the one property everything else
+leans on is: *equivalent requests map to one cache key*.  A request spec
+is normalized field by field — defaults filled in, numbers coerced
+(``4.0`` and ``4`` are the same processor count), config overrides
+applied onto a fresh :class:`~repro.system.config.MachineConfig` — and
+the key is then the existing :func:`repro.perf.cache.point_key`, i.e.
+exactly the digest the sweep runner and the figure benches already use.
+A result computed by ``bench_fig13`` is a cache hit for a server client
+asking for the same point, and vice versa.
+
+Unknown fields anywhere (the spec itself or the ``config`` override
+block) are rejected rather than ignored: a typo that silently falls back
+to defaults would return the *wrong experiment* with a 200.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..interconnect.routing import Geometry
+from ..perf.sweep import SweepPoint
+from ..system.config import MachineConfig
+from ..workloads import SUITE
+
+
+class BadRequest(ValueError):
+    """A request spec that cannot be canonicalized; maps to HTTP 400."""
+
+
+#: fields a point spec may carry (`stream`/`ttl_s` are request transport
+#: options, not part of the simulation identity — they never reach the key)
+POINT_FIELDS = frozenset(
+    {"workload", "nprocs", "cpus", "size", "variant", "config"}
+)
+REQUEST_ONLY_FIELDS = frozenset({"stream", "ttl_s"})
+
+_CONFIG_FIELDS: Dict[str, object] = {
+    f.name: f for f in dataclasses.fields(MachineConfig)
+}
+_CONFIG_DEFAULTS = MachineConfig.prototype()
+
+
+@dataclass(frozen=True)
+class CanonPoint:
+    """One canonicalized request point: the sweep point, its cache key,
+    and the normalized spec (for echoing back to the client)."""
+
+    point: SweepPoint
+    key: str
+    spec: dict
+
+
+def _as_int(name: str, value) -> int:
+    if isinstance(value, bool):
+        raise BadRequest(f"{name} must be an integer, got {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise BadRequest(f"{name} must be an integer, got {value!r}")
+
+
+def _geometry(value) -> Geometry:
+    """Accept ``[4, 4]`` or ``{"levels": [4, 4],
+    "processors_per_station": 4}``."""
+    if isinstance(value, (list, tuple)):
+        return Geometry(tuple(_as_int("geometry level", v) for v in value))
+    if isinstance(value, dict):
+        unknown = set(value) - {"levels", "processors_per_station"}
+        if unknown:
+            raise BadRequest(
+                f"unknown geometry fields {sorted(unknown)}; valid: "
+                "levels, processors_per_station"
+            )
+        if "levels" not in value:
+            raise BadRequest("geometry object requires 'levels'")
+        levels = tuple(_as_int("geometry level", v) for v in value["levels"])
+        pps = _as_int(
+            "processors_per_station", value.get("processors_per_station", 4)
+        )
+        return Geometry(levels, processors_per_station=pps)
+    raise BadRequest(f"geometry must be a list or object, got {value!r}")
+
+
+def build_config(overrides: Optional[dict]) -> MachineConfig:
+    """A fresh prototype config with the given field overrides applied.
+
+    Values are coerced to the field's default type, so ``"nc_enabled":
+    true`` / ``"compute_scale": 32`` behave; unknown fields raise.
+    """
+    cfg = MachineConfig.prototype()
+    if not overrides:
+        return cfg
+    if not isinstance(overrides, dict):
+        raise BadRequest(f"config must be an object, got {overrides!r}")
+    for name, value in overrides.items():
+        if name not in _CONFIG_FIELDS:
+            raise BadRequest(
+                f"unknown config field {name!r}; valid fields: "
+                f"{', '.join(sorted(_CONFIG_FIELDS))}"
+            )
+        if name == "geometry":
+            value = _geometry(value)
+        else:
+            default = getattr(_CONFIG_DEFAULTS, name)
+            if isinstance(default, bool):
+                if not isinstance(value, bool):
+                    raise BadRequest(f"config.{name} must be a boolean")
+            elif isinstance(default, int):
+                value = _as_int(f"config.{name}", value)
+            elif isinstance(default, float):
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise BadRequest(f"config.{name} must be a number")
+                value = float(value)
+            elif isinstance(default, str):
+                if not isinstance(value, str):
+                    raise BadRequest(f"config.{name} must be a string")
+        setattr(cfg, name, value)
+    try:
+        cfg.validate()
+    except ValueError as exc:
+        raise BadRequest(f"invalid config: {exc}") from None
+    return cfg
+
+
+def canonical_point(spec) -> CanonPoint:
+    """Normalize one point spec into a :class:`CanonPoint`.
+
+    Equivalent bodies — reordered keys, explicit defaults, ``4.0`` for
+    ``4``, an empty ``config`` block — all land on the same key, because
+    the key is computed from the *normalized* point, never the raw JSON.
+    """
+    if not isinstance(spec, dict):
+        raise BadRequest(f"point spec must be an object, got {spec!r}")
+    unknown = set(spec) - POINT_FIELDS - REQUEST_ONLY_FIELDS
+    if unknown:
+        raise BadRequest(
+            f"unknown fields {sorted(unknown)}; valid fields: "
+            f"{', '.join(sorted(POINT_FIELDS | REQUEST_ONLY_FIELDS))}"
+        )
+
+    workload = spec.get("workload")
+    if not isinstance(workload, str) or workload not in SUITE:
+        raise BadRequest(
+            f"unknown workload {workload!r}; valid workloads: "
+            f"{', '.join(sorted(SUITE))}"
+        )
+
+    size = spec.get("size", "bench")
+    if size not in ("bench", "test"):
+        raise BadRequest(f"size must be 'bench' or 'test', got {size!r}")
+
+    variant = spec.get("variant", "")
+    if not isinstance(variant, str):
+        raise BadRequest(f"variant must be a string, got {variant!r}")
+
+    raw_cpus = spec.get("cpus") or ()
+    if not isinstance(raw_cpus, (list, tuple)):
+        raise BadRequest(f"cpus must be a list, got {raw_cpus!r}")
+    cpus: Tuple[int, ...] = tuple(_as_int("cpu id", c) for c in raw_cpus)
+    if len(set(cpus)) != len(cpus):
+        raise BadRequest("cpus contains duplicates")
+
+    if "nprocs" in spec:
+        nprocs = _as_int("nprocs", spec["nprocs"])
+    elif cpus:
+        nprocs = len(cpus)
+    else:
+        raise BadRequest("nprocs (or cpus) is required")
+    if cpus and nprocs != len(cpus):
+        raise BadRequest(
+            f"nprocs={nprocs} disagrees with len(cpus)={len(cpus)}"
+        )
+    if nprocs < 1:
+        raise BadRequest(f"nprocs must be >= 1, got {nprocs}")
+    # an explicit consecutive placement IS the default placement — the
+    # sweep runner expands empty `cpus` to range(nprocs), so the two
+    # specs run the identical simulation and must share one key
+    if cpus == tuple(range(nprocs)):
+        cpus = ()
+
+    config = build_config(spec.get("config"))
+    if nprocs > config.num_cpus:
+        raise BadRequest(
+            f"nprocs={nprocs} exceeds the machine's {config.num_cpus} cpus"
+        )
+    if any(not 0 <= c < config.num_cpus for c in cpus):
+        raise BadRequest(
+            f"cpu ids must be in [0, {config.num_cpus}), got {list(cpus)}"
+        )
+
+    point = SweepPoint(
+        workload=workload,
+        nprocs=nprocs,
+        config=config,
+        cpus=cpus,
+        size=size,
+        variant=variant,
+    )
+    normalized = {
+        "workload": workload,
+        "nprocs": nprocs,
+        "cpus": list(cpus),
+        "size": size,
+        "variant": variant,
+    }
+    return CanonPoint(point=point, key=point.key(), spec=normalized)
+
+
+__all__ = [
+    "BadRequest",
+    "CanonPoint",
+    "POINT_FIELDS",
+    "REQUEST_ONLY_FIELDS",
+    "build_config",
+    "canonical_point",
+]

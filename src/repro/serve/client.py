@@ -1,0 +1,130 @@
+"""A minimal keep-alive HTTP/1.1 client for the job server.
+
+Shared by the load generator (``benchmarks/bench_serve.py``) and the
+test suite, so neither needs an external HTTP library.  One
+:class:`HttpClient` is one TCP connection; it understands exactly what
+the server emits: fixed-length responses and chunked
+``application/x-ndjson`` streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator, Dict, Optional, Tuple
+
+
+class HttpClient:
+    """One persistent connection to the server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "HttpClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+    async def _send(self, method: str, path: str, body: Optional[bytes]) -> None:
+        if self._writer is None:
+            await self.connect()
+        head = [f"{method} {path} HTTP/1.1", f"Host: {self.host}:{self.port}"]
+        if body is not None:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(body)}")
+        head.append("Connection: keep-alive")
+        payload = ("\r\n".join(head) + "\r\n\r\n").encode() + (body or b"")
+        self._writer.write(payload)
+        await self._writer.drain()
+
+    async def _read_head(self) -> Tuple[int, Dict[str, str]]:
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.lower().strip()] = value.strip()
+        return status, headers
+
+    async def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request/response on this connection (fixed-length only)."""
+        raw = json.dumps(body).encode() if body is not None else None
+        await self._send(method, path, raw)
+        status, headers = await self._read_head()
+        if headers.get("transfer-encoding") == "chunked":
+            chunks = [c async for c in self._iter_chunks()]
+            return status, headers, b"".join(chunks)
+        length = int(headers.get("content-length", "0"))
+        payload = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, payload
+
+    async def request_json(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, Dict[str, str], dict]:
+        status, headers, payload = await self.request(method, path, body)
+        return status, headers, (json.loads(payload) if payload else {})
+
+    # ------------------------------------------------------------------
+    async def _iter_chunks(self) -> AsyncIterator[bytes]:
+        while True:
+            size_line = await self._reader.readline()
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await self._reader.readline()  # trailing CRLF
+                return
+            data = await self._reader.readexactly(size)
+            await self._reader.readexactly(2)  # chunk CRLF
+            yield data
+
+    async def stream_lines(
+        self, method: str, path: str, body: Optional[dict] = None
+    ):
+        """Issue a streaming request; yields decoded JSONL objects.
+
+        The first yielded item is ``(status, headers)``; every subsequent
+        item is one parsed line from the chunked NDJSON body.
+        """
+        raw = json.dumps(body).encode() if body is not None else None
+        await self._send(method, path, raw)
+        status, headers = await self._read_head()
+        yield status, headers
+        if headers.get("transfer-encoding") != "chunked":
+            length = int(headers.get("content-length", "0"))
+            payload = await self._reader.readexactly(length) if length else b""
+            for line in payload.splitlines():
+                if line.strip():
+                    yield json.loads(line)
+            return
+        buf = b""
+        async for chunk in self._iter_chunks():
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line)
+        if buf.strip():
+            yield json.loads(buf)
+
+
+__all__ = ["HttpClient"]

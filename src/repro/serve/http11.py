@@ -1,0 +1,241 @@
+"""Minimal HTTP/1.1 framing over raw asyncio streams.
+
+The job server (:mod:`repro.serve.app`) speaks plain HTTP/1.1 on an
+``asyncio.start_server`` socket — no ``http.server``, no threads, no
+dependencies.  This module owns the wire format only: request parsing
+(request line, headers, ``Content-Length`` bodies), fixed-length
+responses, and ``Transfer-Encoding: chunked`` responses for the JSONL
+progress streams.  Routing and semantics live in the app layer.
+
+Parsing is deliberately strict and small: requests with a body must
+declare ``Content-Length`` (chunked *request* bodies are rejected with
+501 — no client of this service needs them), header blocks are bounded
+by the stream reader's buffer limit, and any malformed request raises
+:class:`ProtocolError` carrying the status code the connection handler
+should answer with before closing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+#: request bodies above this are refused with 413 (a sweep of thousands of
+#: points is still well under 8 MB of JSON)
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def reason(status: int) -> str:
+    return _REASONS.get(status, "Unknown")
+
+
+class ProtocolError(Exception):
+    """A malformed request; ``status`` is the answer to send before
+    closing the connection."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  # keys lower-cased; last occurrence wins
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    #: filled by the app layer after JSON decoding
+    json: Optional[dict] = field(default=None, repr=False)
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF between requests (the client hung up),
+    raises :class:`ProtocolError` on anything malformed.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise ProtocolError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(431, "request head exceeds buffer limit") from None
+
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 cannot fail
+        raise ProtocolError(400, "undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(400, f"unsupported version {version!r}")
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name or name != name.strip() or "\t" in name:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise ProtocolError(501, "chunked request bodies are not supported")
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, "bad Content-Length") from None
+        if length < 0:
+            raise ProtocolError(400, "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "truncated request body") from None
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method,
+        target=target,
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+def _head(
+    status: int,
+    headers: Tuple[Tuple[str, str], ...],
+) -> bytes:
+    lines = [f"HTTP/1.1 {status} {reason(status)}"]
+    lines += [f"{k}: {v}" for k, v in headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+    keep_alive: bool = True,
+) -> None:
+    """Write one fixed-length response and flush it."""
+    headers = (
+        ("Content-Type", content_type),
+        ("Content-Length", str(len(body))),
+        ("Connection", "keep-alive" if keep_alive else "close"),
+    ) + tuple(extra_headers)
+    writer.write(_head(status, headers) + body)
+    await writer.drain()
+
+
+class ChunkedResponse:
+    """A ``Transfer-Encoding: chunked`` response for JSONL streaming.
+
+    Every :meth:`send` flushes one chunk immediately, so a tailing client
+    sees progress lines as they happen rather than at response end.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int = 200,
+        content_type: str = "application/x-ndjson",
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self._writer = writer
+        self._status = status
+        self._content_type = content_type
+        self._extra = tuple(extra_headers)
+        self._started = False
+        self._closed = False
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        headers = (
+            ("Content-Type", self._content_type),
+            ("Transfer-Encoding", "chunked"),
+            ("Connection", "keep-alive"),
+        ) + self._extra
+        self._writer.write(_head(self._status, headers))
+        await self._writer.drain()
+
+    async def send(self, data) -> None:
+        if not self._started:
+            await self.start()
+        if isinstance(data, str):
+            data = data.encode()
+        if not data:
+            return
+        self._writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        if not self._started:
+            await self.start()
+        self._closed = True
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ChunkedResponse",
+    "ProtocolError",
+    "Request",
+    "read_request",
+    "reason",
+    "send_response",
+]

@@ -1,0 +1,475 @@
+"""Admission, coalescing, batching and execution of simulation jobs.
+
+The service disciplines live here, mirroring the queueing-server framing
+the paper's shared simulator invites:
+
+* **Dedupe** — a point already in ``.numachine_cache`` is served without
+  touching the pool at all (the content-addressed key makes the cache a
+  CDN for experiments).
+* **Coalescing** — N concurrent requests for the *same* cold point share
+  one in-flight computation: one entry in the in-flight table, one pool
+  submission, N resolved futures.
+* **Admission control** — cold points enter a bounded queue; when it is
+  full the caller gets :class:`Backpressure` (HTTP 429 + ``Retry-After``)
+  instead of an unbounded backlog.
+* **Batching** — the dispatcher drains whatever is queued, splits it
+  round-robin across the free pool workers, and submits each chunk as a
+  *single* pool submission (one pickle, one worker wake-up per chunk —
+  a cold 16-point sweep saturates every core with ≤ ``workers``
+  submissions instead of 16).
+* **TTL / cancellation** — queued jobs whose deadline passes fail with
+  :class:`JobExpired` (504); queued jobs all of whose waiters have
+  disconnected are dropped before ever reaching the pool.
+* **Drain** — :meth:`JobManager.drain` stops admissions (503 for new
+  work), lets in-flight chunks finish, then shuts the pool down.
+
+Workers are plain processes (the same ``ProcessPoolExecutor`` shape as
+:mod:`repro.perf.sweep`); results flow back as JSON dicts, are written
+to the shared on-disk cache by the event-loop side, and resolve every
+waiting future.  Streamed runs are the one exception to caching: a run
+with a :class:`~repro.obs.stream.TelemetryStream` riding it is an
+*observed* run — the sampler adds events and extends quiescence time by
+up to one period — so its record goes to the streaming client but never
+into the cache, where it would alias the canonical record for the key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..perf.cache import RunCache
+from ..perf.record import RunRecord, collect_record
+from ..perf.sweep import SweepPoint
+from .canon import CanonPoint
+from .metrics import ServeMetrics
+
+
+class Backpressure(Exception):
+    """Admission queue full; carries the suggested Retry-After seconds."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(f"admission queue full; retry after {retry_after:.0f}s")
+        self.retry_after = retry_after
+
+
+class Draining(Exception):
+    """The server is shutting down; no new jobs are admitted."""
+
+
+class JobExpired(Exception):
+    """A queued job's TTL passed before a worker picked it up."""
+
+
+class JobFailed(Exception):
+    """The simulation itself raised; the message carries the worker error."""
+
+
+def default_workers() -> int:
+    """Pool size: ``NUMACHINE_JOBS`` when set, else every core."""
+    raw = os.environ.get("NUMACHINE_JOBS")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# worker side (module level: must pickle under fork and spawn)
+# ----------------------------------------------------------------------
+def _run_one(payload: dict) -> dict:
+    """Run one point in a worker; never raises (errors travel as data so
+    one bad point cannot poison its batch-mates)."""
+    try:
+        point: SweepPoint = payload["point"]
+        stream_path = payload.get("stream_path")
+        from repro.system.machine import Machine
+        from repro.workloads import make
+
+        cfg = point.resolved_config()
+        machine = Machine(cfg)
+        obs = None
+        if stream_path:
+            # bridge: a TelemetryStream rides the run and appends slim
+            # JSONL snapshots the server tails back to the client
+            from repro.obs import Observability
+
+            obs = Observability(
+                trace=False, probes=False, stream_path=stream_path
+            ).attach(machine)
+        workload = make(point.workload, point.size)
+        if point.cpus:
+            result = workload.run(machine, cpus=list(point.cpus))
+        else:
+            result = workload.run(machine, nprocs=point.nprocs)
+        record = collect_record(
+            machine,
+            workload=point.workload,
+            nprocs=point.nprocs,
+            parallel_time_ns=result.parallel_time_ns,
+            cpus=point.cpus,
+            variant=point.variant,
+        )
+        out = {"ok": True, "record": record.to_json()}
+        if obs is not None:
+            # an observed run is NOT the canonical record for this key:
+            # the sampler adds its own events and its final tick extends
+            # engine quiescence time by up to one period.  The event-loop
+            # side therefore never caches streamed results; the sampler
+            # tick count travels alongside so a consumer can reconcile
+            # the observed event count with an unobserved run's.
+            out["sampler_ticks"] = obs.stream.ticks
+            obs.stream.close()
+        return out
+    except BaseException as exc:  # noqa: BLE001 - must cross the pool as data
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _run_batch(payloads: List[dict]) -> List[dict]:
+    """Worker entry for one chunk: run its points back to back."""
+    return [_run_one(p) for p in payloads]
+
+
+# ----------------------------------------------------------------------
+# event-loop side
+# ----------------------------------------------------------------------
+@dataclass
+class Job:
+    """One cold point somewhere between admission and resolution."""
+
+    key: str
+    point: SweepPoint
+    future: asyncio.Future
+    stream_path: Optional[str] = None
+    enqueued_at: float = 0.0
+    deadline: Optional[float] = None
+    submitted: bool = False
+    waiters: int = 0
+    spec: dict = field(default_factory=dict)
+    #: sampler events the worker's TelemetryStream ran (streamed jobs only)
+    sampler_ticks: Optional[int] = None
+
+
+class JobManager:
+    """The admission queue, in-flight table and pool dispatcher."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        queue_depth: int = 64,
+        batch_max: int = 8,
+        default_ttl_s: Optional[float] = 600.0,
+        cache: Optional[RunCache] = None,
+        metrics: Optional[ServeMetrics] = None,
+        executor=None,
+    ) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        self.queue_depth = max(1, queue_depth)
+        self.batch_max = max(1, batch_max)
+        self.default_ttl_s = default_ttl_s
+        self.cache = cache if cache is not None else RunCache()
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._executor = executor  # injected in tests; else a process pool
+        self._owns_executor = executor is None
+        self.draining = False
+
+        self._inflight: Dict[str, Job] = {}
+        self._queue: Optional[asyncio.Queue] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._reaper: Optional[asyncio.Task] = None
+        self._chunks_in_flight = 0
+        self._chunk_tasks: set = set()
+        self._slot_free: Optional[asyncio.Event] = None
+
+        self.metrics.queue_depth_fn = lambda: (
+            self._queue.qsize() if self._queue else 0
+        )
+        self.metrics.in_flight_fn = lambda: sum(
+            1 for j in self._inflight.values() if j.submitted
+        )
+        self.metrics.draining_fn = lambda: self.draining
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind to the running loop and start dispatcher + TTL reaper."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._slot_free = asyncio.Event()
+        self._slot_free.set()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self._reaper = asyncio.ensure_future(self._reap_loop())
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[RunRecord]:
+        """Cache probe with metric accounting."""
+        record = self.cache.get(key)
+        if record is not None:
+            self.metrics.cache_hits += 1
+        return record
+
+    def submit(
+        self, cp: CanonPoint, stream_path: Optional[str] = None,
+        ttl_s: Optional[float] = None,
+    ) -> Tuple[str, object]:
+        """Admit one canonical point.
+
+        Returns ``("hit", RunRecord)`` for a cached point,
+        ``("coalesced", Job)`` when the point is already in flight, or
+        ``("run", Job)`` after queueing a fresh job.  Raises
+        :class:`Backpressure` or :class:`Draining` instead of queueing.
+        """
+        record = self.lookup(cp.key)
+        if record is not None:
+            return "hit", record
+
+        job = self._inflight.get(cp.key)
+        if job is not None:
+            self.metrics.coalesced += 1
+            job.waiters += 1  # the caller must release_waiter() when done
+            return "coalesced", job
+
+        if self.draining:
+            raise Draining("server is draining")
+        self.metrics.cache_misses += 1
+        job = self._make_job(cp, stream_path, ttl_s)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.metrics.cache_misses -= 1  # never admitted, never computed
+            raise Backpressure(self._retry_after()) from None
+        self._inflight[cp.key] = job
+        job.waiters += 1
+        return "run", job
+
+    def submit_many(
+        self, points: Sequence[CanonPoint]
+    ) -> List[Tuple[str, object]]:
+        """Admit a sweep all-or-nothing.
+
+        Cached and coalesced points never consume queue slots; if the
+        remaining cold points do not all fit, *nothing* is queued and
+        :class:`Backpressure` is raised — a partially admitted sweep
+        would hang its client on the rejected half.
+        """
+        out: List[Tuple[str, object]] = []
+        cold: List[CanonPoint] = []
+        seen_cold: Dict[str, int] = {}
+        for cp in points:
+            record = self.lookup(cp.key)
+            if record is not None:
+                out.append(("hit", record))
+                continue
+            job = self._inflight.get(cp.key)
+            if job is not None:
+                self.metrics.coalesced += 1
+                out.append(("coalesced", job))
+                continue
+            if cp.key in seen_cold:
+                # duplicate inside one sweep: coalesce onto the first
+                self.metrics.coalesced += 1
+                out.append(("dup", seen_cold[cp.key]))
+                continue
+            seen_cold[cp.key] = len(out)
+            out.append(("run", cp))
+            cold.append(cp)
+
+        if cold:
+            if self.draining:
+                raise Draining("server is draining")
+            free = self.queue_depth - self._queue.qsize()
+            if len(cold) > free:
+                raise Backpressure(self._retry_after())
+            jobs: Dict[str, Job] = {}
+            for cp in cold:
+                job = self._make_job(cp, None, None)
+                self.metrics.cache_misses += 1
+                self._queue.put_nowait(job)
+                self._inflight[cp.key] = job
+                jobs[cp.key] = job
+            out = [
+                ("run", jobs[item.key]) if src == "run" else (src, item)
+                for src, item in out
+            ]
+        # resolve intra-sweep duplicates onto their first occurrence's job
+        out = [
+            ("coalesced", out[item][1]) if src == "dup" else (src, item)
+            for src, item in out
+        ]
+        for _src, item in out:
+            if isinstance(item, Job):
+                item.waiters += 1  # one release_waiter() owed per entry
+        return out
+
+    @staticmethod
+    def release_waiter(job: "Job") -> None:
+        """A waiter is done with ``job`` (answered or disconnected); when
+        the last waiter of a still-queued job leaves, the dispatcher drops
+        the job instead of computing for nobody."""
+        job.waiters -= 1
+
+    def _make_job(
+        self, cp: CanonPoint, stream_path: Optional[str],
+        ttl_s: Optional[float],
+    ) -> Job:
+        now = self._loop.time()
+        ttl = ttl_s if ttl_s is not None else self.default_ttl_s
+        return Job(
+            key=cp.key,
+            point=cp.point,
+            future=self._loop.create_future(),
+            stream_path=stream_path,
+            enqueued_at=now,
+            deadline=(now + ttl) if ttl else None,
+            spec=cp.spec,
+        )
+
+    def _retry_after(self) -> float:
+        """A crude service-time estimate: queued points over pool width,
+        floored at one second."""
+        qsize = self._queue.qsize() if self._queue else self.queue_depth
+        return max(1.0, 2.0 * qsize / max(1, self.workers))
+
+    # ------------------------------------------------------------------
+    # dispatcher: queue -> batched pool submissions
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            while self._chunks_in_flight >= self.workers:
+                self._slot_free.clear()
+                await self._slot_free.wait()
+            job = await self._queue.get()
+            free = self.workers - self._chunks_in_flight
+            batch = [job]
+            while len(batch) < self.batch_max * free:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            batch = [j for j in batch if self._still_wanted(j)]
+            if not batch:
+                continue
+            nchunks = min(len(batch), free)
+            for i in range(nchunks):
+                chunk = batch[i::nchunks]
+                self._submit_chunk(chunk)
+
+    def _still_wanted(self, job: Job) -> bool:
+        """Drop expired / abandoned jobs at the last gate before the pool."""
+        if job.future.done():  # expired by the reaper, or cancelled
+            self._inflight.pop(job.key, None)
+            return False
+        if job.waiters <= 0:
+            self.metrics.jobs_dropped += 1
+            self._inflight.pop(job.key, None)
+            job.future.cancel()
+            return False
+        return True
+
+    def _submit_chunk(self, chunk: List[Job]) -> None:
+        payloads = [
+            {"point": j.point, "stream_path": j.stream_path} for j in chunk
+        ]
+        for j in chunk:
+            j.submitted = True
+        self._chunks_in_flight += 1
+        self.metrics.pool_submissions += 1
+        self.metrics.batched_points += len(chunk)
+        cf = self._executor.submit(_run_batch, payloads)
+        fut = asyncio.wrap_future(cf, loop=self._loop)
+        task = asyncio.ensure_future(self._finish_chunk(chunk, fut))
+        self._chunk_tasks.add(task)
+        task.add_done_callback(self._chunk_tasks.discard)
+
+    async def _finish_chunk(self, chunk: List[Job], fut: asyncio.Future) -> None:
+        try:
+            results = await fut
+        except BaseException as exc:  # noqa: BLE001 - broken pool etc.
+            results = [
+                {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            ] * len(chunk)
+        finally:
+            self._chunks_in_flight -= 1
+            self._slot_free.set()
+        now = self._loop.time()
+        for job, res in zip(chunk, results):
+            self._inflight.pop(job.key, None)
+            if res.get("ok"):
+                record = RunRecord.from_json(res["record"])
+                job.sampler_ticks = res.get("sampler_ticks")
+                if job.stream_path is None:
+                    # streamed runs carry the sampler's footprint (extra
+                    # events, quiescence time extended by up to one tick
+                    # period) and must never alias the canonical record
+                    # under this key
+                    self.cache.put(job.key, record)
+                self.metrics.jobs_completed += 1
+                self.metrics.record_latency("run", now - job.enqueued_at)
+                if not job.future.done():
+                    job.future.set_result(record)
+            else:
+                self.metrics.jobs_failed += 1
+                if not job.future.done():
+                    job.future.set_exception(
+                        JobFailed(res.get("error", "unknown worker error"))
+                    )
+
+    # ------------------------------------------------------------------
+    async def _reap_loop(self) -> None:
+        """Expire queued-but-unsubmitted jobs whose deadline passed."""
+        while True:
+            await asyncio.sleep(0.25)
+            now = self._loop.time()
+            for key, job in list(self._inflight.items()):
+                if job.submitted or job.future.done():
+                    continue
+                if job.deadline is not None and now > job.deadline:
+                    self.metrics.jobs_expired += 1
+                    self._inflight.pop(key, None)
+                    job.future.set_exception(
+                        JobExpired(f"job waited {now - job.enqueued_at:.1f}s "
+                                   "in queue past its TTL")
+                    )
+
+    # ------------------------------------------------------------------
+    async def drain(self, timeout: Optional[float] = 30.0) -> bool:
+        """Stop admissions, finish in-flight work, shut the pool down.
+
+        Returns True when everything finished inside the timeout.
+        """
+        self.draining = True
+        deadline = (
+            self._loop.time() + timeout if timeout is not None else None
+        )
+        clean = True
+        while self._inflight or (self._queue and self._queue.qsize()):
+            if deadline is not None and self._loop.time() > deadline:
+                clean = False
+                break
+            await asyncio.sleep(0.05)
+        for task in (self._dispatcher, self._reaper):
+            if task is not None:
+                task.cancel()
+        if self._chunk_tasks:
+            await asyncio.gather(*list(self._chunk_tasks), return_exceptions=True)
+        if self._executor is not None and self._owns_executor:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        return clean
+
+
+__all__ = [
+    "Backpressure",
+    "Draining",
+    "Job",
+    "JobExpired",
+    "JobFailed",
+    "JobManager",
+    "default_workers",
+]

@@ -1,0 +1,137 @@
+"""Server-side metric series for the simulation service.
+
+The simulator's own metrics (``repro.obs.registry``) describe one run;
+these describe the *service*: request counts by route and status, cache
+hit/miss/coalesce traffic, admission-queue depth, in-flight pool work,
+and request-latency quantiles per serving class.  The snapshot is a
+plain dict; :func:`repro.obs.registry.serve_to_prometheus` renders it in
+the same text exposition format the simulator metrics already use, so
+one scrape config covers both.
+
+Latency quantiles come from a bounded reservoir of the most recent
+samples per class — the soak benchmark and a Prometheus scrape both want
+"recent p99", not an all-time aggregate that a warm-up phase would
+pollute forever.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+
+class LatencyReservoir:
+    """Last-``capacity`` latency samples with quantile extraction."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._samples: deque = deque(maxlen=capacity)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0..1) of the retained window; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def summary(self) -> dict:
+        window = len(self._samples)
+        return {
+            "count": self.count,
+            "window": window,
+            "mean": (sum(self._samples) / window) if window else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class ServeMetrics:
+    """Counters, gauges and latency reservoirs for one server instance."""
+
+    #: serving classes a request latency is attributed to
+    CLASSES = ("hit", "coalesced", "run")
+
+    def __init__(self, reservoir: int = 4096) -> None:
+        self.started_at = time.time()
+        #: (route, status) -> count
+        self.requests: Dict[tuple, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_expired = 0
+        self.jobs_dropped = 0  # queued jobs whose waiters all went away
+        self.pool_submissions = 0
+        self.batched_points = 0
+        self.stream_lines_forwarded = 0
+        self.latency: Dict[str, LatencyReservoir] = {
+            cls: LatencyReservoir(reservoir) for cls in self.CLASSES
+        }
+        #: live-state callbacks installed by the job manager
+        self.queue_depth_fn: Optional[Callable[[], int]] = None
+        self.in_flight_fn: Optional[Callable[[], int]] = None
+        self.draining_fn: Optional[Callable[[], bool]] = None
+
+    # ------------------------------------------------------------------
+    def record_request(self, route: str, status: int) -> None:
+        key = (route, status)
+        self.requests[key] = self.requests.get(key, 0) + 1
+
+    def record_latency(self, cls: str, seconds: float) -> None:
+        self.latency[cls].observe(seconds)
+
+    def hit_ratio(self) -> float:
+        """Cache hits over all point lookups since start (coalesced
+        requests count as neither: they neither read the cache nor cost a
+        simulation)."""
+        total = self.cache_hits + self.cache_misses
+        return (self.cache_hits / total) if total else 0.0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The JSON view served on ``/stats`` and rendered on
+        ``/metrics``."""
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "requests": {
+                f"{route} {status}": n
+                for (route, status), n in sorted(self.requests.items())
+            },
+            "responses_5xx": sum(
+                n for (_, status), n in self.requests.items() if status >= 500
+            ),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "coalesced": self.coalesced,
+                "hit_ratio": self.hit_ratio(),
+            },
+            "jobs": {
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "expired": self.jobs_expired,
+                "dropped": self.jobs_dropped,
+                "pool_submissions": self.pool_submissions,
+                "batched_points": self.batched_points,
+                "queue_depth": self.queue_depth_fn() if self.queue_depth_fn else 0,
+                "in_flight": self.in_flight_fn() if self.in_flight_fn else 0,
+            },
+            "draining": bool(self.draining_fn()) if self.draining_fn else False,
+            "stream_lines_forwarded": self.stream_lines_forwarded,
+            "latency_s": {
+                cls: res.summary() for cls, res in self.latency.items()
+            },
+        }
+
+
+__all__ = ["LatencyReservoir", "ServeMetrics"]
